@@ -1,0 +1,83 @@
+#pragma once
+
+// Shared plumbing for the figure/table reproduction harnesses. Each bench
+// binary prints (a) the paper's reported numbers and (b) the values measured
+// on this simulated stack, so the shape comparison is inspectable at a
+// glance in CI logs.
+
+#include <cstdio>
+#include <string>
+
+#include "multiverse/system.hpp"
+#include "runtime/scheme/engine.hpp"
+#include "runtime/scheme/programs.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace mvbench {
+
+using namespace mv;                // NOLINT
+using namespace mv::multiverse;    // NOLINT
+
+// Per-syscall cost of the Nautilus stub itself (SYSCALL entry, red-zone
+// stack pulldown, emulated SYSRET) — subtracted when comparing raw channel
+// transport latencies with the paper's Fig 2 numbers.
+inline double stub_overhead_cycles() {
+  return static_cast<double>(hw::costs().syscall_insn +
+                             hw::costs().reg_op * 4 +
+                             hw::costs().sysret_emulated);
+}
+
+inline void banner(const char* artifact, const char* description) {
+  Logger::instance().set_level(LogLevel::kError);
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("Reproduction of: Hale, Hetland, Dinda, \"Automatic "
+              "Hybridization of Runtime Systems\" (HPDC'16)\n");
+  std::printf("==============================================================\n");
+}
+
+// Scheme engine configuration used by the Racket-benchmark harnesses: GC
+// pressure tuned so the legacy-interaction rate is paper-like.
+inline scheme::Engine::Config racket_profile() {
+  scheme::Engine::Config cfg;
+  cfg.heap.gc_allocation_trigger = 8 * 1024;
+  cfg.eval_cycles = 110;
+  return cfg;
+}
+
+// Run one Scheme benchmark in one of the three measurement configurations.
+enum class Mode { kNative, kVirtual, kMultiverse };
+
+inline const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kNative: return "Native";
+    case Mode::kVirtual: return "Virtual";
+    case Mode::kMultiverse: return "Multiverse";
+  }
+  return "?";
+}
+
+inline Result<ProgramResult> run_scheme_benchmark(Mode mode, scheme::Bench b,
+                                                  int n) {
+  SystemConfig cfg;
+  cfg.virtualized = mode != Mode::kNative;
+  HybridSystem system(cfg);
+  MV_RETURN_IF_ERROR(scheme::install_boot_files(system.linux().fs()));
+  const std::string src = scheme::benchmark_source(b, n);
+  auto guest = [src](ros::SysIface& sys) {
+    scheme::Engine engine(sys, racket_profile());
+    const Status up = engine.init();
+    if (!up.is_ok()) return 70;
+    auto r = engine.eval_string(src);
+    (void)engine.flush();
+    return r.is_ok() ? 0 : 1;
+  };
+  if (mode == Mode::kMultiverse) {
+    return system.run_hybrid(scheme::benchmark_name(b), guest);
+  }
+  return system.run(scheme::benchmark_name(b), guest);
+}
+
+}  // namespace mvbench

@@ -1,0 +1,67 @@
+// Figure 10: system utilization for the Racket benchmarks — "A high-level
+// language has many low-level interactions with the OS."
+//
+// Paper columns: System Calls, Time (User/Sys) (s), Max Resident Set (Kb),
+// Page Faults, Context Switches. Problem sizes here are scaled down from
+// the Benchmarks Game inputs so the simulation completes in seconds; the
+// claims that carry are relative: every benchmark makes thousands of
+// syscalls and page faults, fasta* are write-heavy, binary-tree-2 and the
+// numeric kernels are fault-heavy relative to their runtime.
+
+#include "common.hpp"
+
+int main() {
+  using namespace mvbench;
+  banner("Figure 10", "system utilization for Racket benchmarks (Native)");
+
+  Table table({"Benchmark", "System Calls", "Time (User/Sys) (s)",
+               "Max Resident Set (Kb)", "Page Faults", "Context Switches"});
+
+  bool all_ok = true;
+  const scheme::Bench order[] = {
+      scheme::Bench::kFannkuch,     scheme::Bench::kBinaryTrees,
+      scheme::Bench::kFasta,        scheme::Bench::kFasta3,
+      scheme::Bench::kNBody,        scheme::Bench::kSpectralNorm,
+      scheme::Bench::kMandelbrot,
+  };
+  for (const scheme::Bench b : order) {
+    auto r = run_scheme_benchmark(Mode::kNative, b,
+                                  scheme::benchmark_bench_size(b));
+    if (!r) {
+      std::printf("%s failed: %s\n", scheme::benchmark_name(b),
+                  r.status().to_string().c_str());
+      all_ok = false;
+      continue;
+    }
+    table.add_row({scheme::benchmark_name(b),
+                   std::to_string(r->total_syscalls),
+                   strfmt("%.2f/%.2f", r->utime_s, r->stime_s),
+                   std::to_string(r->max_rss_kb),
+                   std::to_string(r->page_faults),
+                   std::to_string(r->ctx_switches)});
+    // Every benchmark interacts heavily with the OS (the figure's thesis).
+    if (r->total_syscalls < 100 || r->page_faults < 300) all_ok = false;
+  }
+  table.print();
+
+  std::printf("\npaper's values for reference (full-size inputs on real "
+              "hardware):\n");
+  Table paper({"Benchmark", "System Calls", "Time (User/Sys) (s)",
+               "Max RSS (Kb)", "Page Faults", "Ctx Switches"});
+  paper.add_row({"fannkuch-redux", "1279", "2.73/0.01", "21284", "5358", "33"});
+  paper.add_row({"binary-tree-2", "1260", "31.98/0.10", "82072", "31082",
+                 "491"});
+  paper.add_row({"fasta", "29989", "12.23/0.10", "43568", "14956", "627"});
+  paper.add_row({"fasta-3", "35115", "31.28/0.17", "80492", "25418", "1075"});
+  paper.add_row({"n-body", "18763", "41.15/0.19", "152300", "45064", "1430"});
+  paper.add_row({"spectral-norm", "23800", "39.39/0.24", "182300", "51452",
+                 "1695"});
+  paper.add_row({"mandelbrot-2", "3667", "7.76/0.05", "43600", "14250",
+                 "291"});
+  paper.print();
+
+  std::printf("\nshape check (thousands of OS interactions per benchmark, "
+              "user time >> system time): %s\n",
+              all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+// mvtrace: an strace for the simulated stack — the tool you point at a
+// hybridized program to see exactly which legacy functionality it still
+// leans on (the measurement behind the paper's Figs 11 and 12, and step 3 of
+// the subtractive porting loop).
+//
+//   mvtrace [native|hybrid] [startup|bintree|fasta]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "multiverse/system.hpp"
+#include "runtime/scheme/engine.hpp"
+#include "runtime/scheme/programs.hpp"
+#include "support/strings.hpp"
+
+using namespace mv;
+using namespace mv::multiverse;
+
+namespace {
+
+std::string workload_source(const char* which) {
+  if (std::strcmp(which, "bintree") == 0) {
+    return scheme::benchmark_source(scheme::Bench::kBinaryTrees, 7);
+  }
+  if (std::strcmp(which, "fasta") == 0) {
+    return scheme::benchmark_source(scheme::Bench::kFasta, 150);
+  }
+  return "";  // startup only
+}
+
+void print_event(const ros::Process::SyscallEvent& e) {
+  std::string args;
+  // Print the leading arguments like strace: hex for pointery values.
+  for (int i = 0; i < 3; ++i) {
+    if (i) args += ", ";
+    if (e.args[static_cast<std::size_t>(i)] > 0xffff) {
+      args += strfmt("0x%llx", static_cast<unsigned long long>(
+                                   e.args[static_cast<std::size_t>(i)]));
+    } else {
+      args += strfmt("%llu", static_cast<unsigned long long>(
+                                 e.args[static_cast<std::size_t>(i)]));
+    }
+  }
+  if (e.error == Err::kOk) {
+    std::printf("%s[tid %d] %s(%s) = %llu\n", e.forwarded ? "[HRT>] " : "",
+                e.tid, ros::sysnr_name(e.nr), args.c_str(),
+                static_cast<unsigned long long>(e.result));
+  } else {
+    std::printf("%s[tid %d] %s(%s) = -1 %s\n", e.forwarded ? "[HRT>] " : "",
+                e.tid, ros::sysnr_name(e.nr), args.c_str(), err_name(e.error));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* mode = argc > 1 ? argv[1] : "hybrid";
+  const char* which = argc > 2 ? argv[2] : "startup";
+  const bool hybrid = std::strcmp(mode, "hybrid") == 0;
+  const std::string src = workload_source(which);
+
+  std::printf("== mvtrace: %s run of '%s' ==\n\n", mode, which);
+
+  SystemConfig cfg;
+  cfg.virtualized = hybrid;
+  HybridSystem system(cfg);
+  if (!scheme::install_boot_files(system.linux().fs()).is_ok()) return 1;
+
+  ros::LinuxSim* kernel = &system.linux();
+  auto guest = [kernel, src](ros::SysIface& sys) {
+    // Arm the tracer from inside the guest, before the engine starts.
+    kernel->processes().front()->syscall_trace_enabled = true;
+    scheme::Engine engine(sys);
+    if (!engine.init().is_ok()) return 70;
+    if (!src.empty()) {
+      auto r = engine.eval_string(src);
+      (void)engine.flush();
+      if (!r) return 1;
+    }
+    return 0;
+  };
+  auto result = hybrid ? system.run_hybrid("traced", guest)
+                       : system.run("traced", guest);
+  if (!result) {
+    std::printf("run failed: %s\n", result.status().to_string().c_str());
+    return 1;
+  }
+
+  const auto& trace = kernel->processes().front()->syscall_trace;
+  std::printf("--- first 25 events ---\n");
+  for (std::size_t i = 0; i < trace.size() && i < 25; ++i) {
+    print_event(trace[i]);
+  }
+  if (trace.size() > 25) {
+    std::printf("... (%zu more)\n", trace.size() - 25);
+  }
+
+  std::printf("\n--- histogram (%zu events, %llu forwarded) ---\n",
+              trace.size(),
+              static_cast<unsigned long long>(std::count_if(
+                  trace.begin(), trace.end(),
+                  [](const auto& e) { return e.forwarded; })));
+  std::map<std::string, std::uint64_t> hist;
+  for (const auto& e : trace) ++hist[ros::sysnr_name(e.nr)];
+  std::vector<std::pair<std::string, std::uint64_t>> rows(hist.begin(),
+                                                          hist.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [name, count] : rows) {
+    std::printf("%8llu  %s\n", static_cast<unsigned long long>(count),
+                name.c_str());
+  }
+  return 0;
+}

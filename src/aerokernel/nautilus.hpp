@@ -1,0 +1,181 @@
+#pragma once
+
+// Nautilus: the AeroKernel. Runs entirely in ring 0 on the HRT core
+// partition. Provides lightweight threads and events, a higher-half
+// identity-mapped address space, the Multiverse additions from the paper's
+// Sec 4.4: a page-fault handler that forwards ROS-half faults over an event
+// channel (with repeat-fault detection that re-merges the PML4), a syscall
+// stub that forwards to the ROS and emulates SYSRET's disallowed ring-0 ->
+// ring-0 return, IST stacks so interrupts cannot destroy red zones, and the
+// CR0.WP fix that makes ring-0 copy-on-write faults visible.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aerokernel/symbols.hpp"
+#include "hw/machine.hpp"
+#include "ros/types.hpp"
+#include "support/result.hpp"
+#include "support/sched.hpp"
+#include "vmm/hvm.hpp"
+
+namespace mv::naut {
+
+// The channel a Nautilus thread uses to reach legacy (ROS) functionality.
+// Implemented by Multiverse's execution-group partner machinery.
+class LegacyChannel {
+ public:
+  virtual ~LegacyChannel() = default;
+  virtual Result<std::uint64_t> forward_syscall(
+      ros::SysNr nr, std::array<std::uint64_t, 6> args) = 0;
+  // Forward a page fault on a ROS-half address; returns OK once the ROS has
+  // repaired the mapping (the access is then retried).
+  virtual Status forward_fault(std::uint64_t vaddr,
+                               std::uint32_t error_code) = 0;
+  // HRT thread exit notification (flips the partner's completion bit).
+  virtual void notify_thread_exit(int hrt_tid) = 0;
+};
+
+struct NautThread {
+  int id = 0;
+  unsigned core = 0;
+  TaskId task = kNoTask;
+  bool nested = false;
+  bool exited = false;
+  LegacyChannel* channel = nullptr;  // inherited by nested threads
+  std::uint64_t fs_base = 0;         // superposed ROS TLS state
+  std::vector<TaskId> joiners;
+};
+
+class Nautilus final : public vmm::HrtKernelIface {
+ public:
+  struct Config {
+    // The paper's fix: enforce write faults in ring 0 so COW and GC barriers
+    // work. Disabling this reproduces the "mysterious memory corruption".
+    bool enforce_cr0_wp = true;
+    // Emulate SYSRET with a direct jmp (SYSRET cannot return to ring 0).
+    bool emulate_sysret = true;
+  };
+
+  Nautilus(hw::Machine& machine, Sched& sched, vmm::Hvm& hvm, Config config);
+  Nautilus(hw::Machine& machine, Sched& sched, vmm::Hvm& hvm)
+      : Nautilus(machine, sched, hvm, Config{}) {}
+
+  // --- HrtKernelIface -------------------------------------------------------
+  Status boot(const vmm::BootInfo& info) override;
+  void reboot() override;
+  Status on_hvm_event(vmm::HrtEventKind kind) override;
+
+  [[nodiscard]] bool booted() const noexcept { return booted_; }
+  [[nodiscard]] std::uint64_t root_cr3() const noexcept { return cr3_; }
+  [[nodiscard]] unsigned boot_core() const {
+    return boot_info_.hrt_cores.front();
+  }
+  [[nodiscard]] const vmm::BootInfo& boot_info() const noexcept {
+    return boot_info_;
+  }
+  [[nodiscard]] SymbolTable& symbols() noexcept { return symbols_; }
+  [[nodiscard]] std::uint64_t image_base_vaddr() const noexcept {
+    return boot_info_.higher_half_base + boot_info_.image_base_paddr;
+  }
+
+  // --- function registry -----------------------------------------------------
+  // Registers kernel behaviour under an HRT virtual address (normally the
+  // address of an image symbol). The HVM function-call event and the
+  // override layer dispatch through this.
+  void bind_function(std::uint64_t hrt_vaddr,
+                     std::function<std::uint64_t(std::uint64_t)> fn);
+  Result<std::uint64_t> call_function(std::uint64_t hrt_vaddr,
+                                      std::uint64_t arg);
+
+  // --- threads (the paper: primitives that "outperform Linux by orders of
+  // --- magnitude") -----------------------------------------------------------
+  Result<NautThread*> thread_create(std::function<void()> body, bool nested,
+                                    LegacyChannel* channel, std::string name);
+  Status thread_join(int id);
+  [[nodiscard]] NautThread* current_thread();
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return threads_.size();
+  }
+
+  // --- events ------------------------------------------------------------------
+  int event_create();
+  Status event_wait(int event);
+  Status event_signal(int event);
+
+  // --- kernel heap ----------------------------------------------------------------
+  // Bump allocator over HRT-private memory; returns kernel virtual addresses.
+  Result<std::uint64_t> kmalloc(std::uint64_t bytes);
+
+  // --- Multiverse additions ---------------------------------------------------
+  // Ring-0 SYSCALL entry: the stub the paper added. Forwards to the current
+  // thread's legacy channel; refuses the disallowed calls (execve, clone,
+  // fork, futex).
+  Result<std::uint64_t> syscall_stub(ros::SysNr nr,
+                                     std::array<std::uint64_t, 6> args);
+
+  // Explicit PML4 re-merge from the stored ROS CR3 (repeat-fault path).
+  Status remerge();
+  [[nodiscard]] bool merged() const noexcept { return merged_; }
+  [[nodiscard]] std::uint64_t merged_ros_cr3() const noexcept {
+    return ros_cr3_;
+  }
+  [[nodiscard]] std::uint64_t remerge_count() const noexcept {
+    return remerges_;
+  }
+  [[nodiscard]] std::uint64_t forwarded_faults() const noexcept {
+    return forwarded_faults_;
+  }
+  [[nodiscard]] std::uint64_t forwarded_syscalls() const noexcept {
+    return forwarded_syscalls_;
+  }
+
+  // Memory access from HRT context (ring 0, HRT CR3, faults vector to the
+  // Nautilus handler which forwards ROS-half faults).
+  Status hrt_mem_read(std::uint64_t vaddr, void* out, std::uint64_t len);
+  Status hrt_mem_write(std::uint64_t vaddr, const void* in, std::uint64_t len);
+  Status hrt_mem_touch(std::uint64_t vaddr, hw::Access access);
+
+ private:
+  [[nodiscard]] std::size_t live_thread_count_internal() const;
+  void install_idt();
+  void page_fault_handler(hw::Core& core, const hw::InterruptFrame& frame);
+  Status do_merge_from_comm_page();
+  // Lazily extend the higher-half identity map (real Nautilus uses huge
+  // pages; we materialize 4 KiB mappings on first touch).
+  Status map_higher_half_page(std::uint64_t vaddr);
+
+  hw::Machine* machine_;
+  Sched* sched_;
+  vmm::Hvm* hvm_;
+  Config config_;
+  vmm::BootInfo boot_info_;
+  bool booted_ = false;
+  std::uint64_t cr3_ = 0;
+  std::uint64_t heap_bump_ = 0;
+  std::uint64_t heap_end_ = 0;
+  SymbolTable symbols_;
+
+  std::map<std::uint64_t, std::function<std::uint64_t(std::uint64_t)>>
+      functions_;
+  std::vector<std::unique_ptr<NautThread>> threads_;
+  std::map<TaskId, NautThread*> task_threads_;
+  int next_thread_id_ = 1;
+  std::vector<bool> events_;  // event id -> signaled
+  std::map<int, std::vector<TaskId>> event_waiters_;
+
+  bool merged_ = false;
+  std::uint64_t ros_cr3_ = 0;
+  std::uint64_t remerges_ = 0;
+  std::uint64_t forwarded_faults_ = 0;
+  std::uint64_t forwarded_syscalls_ = 0;
+  // Repeat-fault detection, per core: last faulting address seen.
+  std::map<unsigned, std::uint64_t> last_fault_;
+};
+
+}  // namespace mv::naut

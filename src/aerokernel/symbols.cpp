@@ -1,0 +1,36 @@
+#include "aerokernel/symbols.hpp"
+
+namespace mv::naut {
+
+void SymbolTable::load(const vmm::HrtImage& image, std::uint64_t base_vaddr) {
+  symbols_.clear();
+  cache_.clear();
+  for (const auto& sym : image.symbols()) {
+    symbols_.push_back(Entry{sym.name, base_vaddr + sym.offset});
+  }
+}
+
+Result<std::uint64_t> SymbolTable::resolve(hw::Core& core,
+                                           std::string_view name) {
+  ++lookups_;
+  if (cache_enabled_) {
+    const auto it = cache_.find(std::string(name));
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      core.charge(hw::costs().mem_access * 4);  // hash probe
+      return it->second;
+    }
+  }
+  // Linear scan with a string compare per entry — the "non-trivial overhead"
+  // the paper describes for per-invocation lookups.
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    core.charge(hw::costs().mem_access * 3 + symbols_[i].name.size() / 8);
+    if (symbols_[i].name == name) {
+      if (cache_enabled_) cache_[symbols_[i].name] = symbols_[i].vaddr;
+      return symbols_[i].vaddr;
+    }
+  }
+  return err(Err::kNoEnt, "unresolved AeroKernel symbol: " + std::string(name));
+}
+
+}  // namespace mv::naut

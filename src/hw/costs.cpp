@@ -1,0 +1,10 @@
+#include "hw/costs.hpp"
+
+namespace mv::hw {
+
+CostModel& costs() noexcept {
+  static CostModel model;
+  return model;
+}
+
+}  // namespace mv::hw

@@ -1,0 +1,50 @@
+#include "hw/machine.hpp"
+
+namespace mv::hw {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      mem_(config.dram_bytes, config.sockets),
+      paging_(mem_) {
+  for (unsigned s = 0; s < config.sockets; ++s) {
+    for (unsigned c = 0; c < config.cores_per_socket; ++c) {
+      const auto id = static_cast<unsigned>(cores_.size());
+      cores_.push_back(std::make_unique<Core>(*this, id, s));
+    }
+  }
+}
+
+Status Machine::send_ipi(unsigned from, unsigned to, std::uint8_t vector,
+                         std::uint64_t payload) {
+  if (to >= cores_.size()) return err(Err::kInval, "IPI to bad core");
+  ++ipis_sent_;
+  core(from).charge(costs().tlb_shootdown_ipi / 2);  // send half
+  InterruptFrame frame;
+  frame.vector = vector;
+  frame.payload = payload;
+  return core(to).deliver(frame);
+}
+
+void Machine::tlb_shootdown(unsigned initiator,
+                            const std::vector<unsigned>& targets,
+                            std::uint64_t vaddr) {
+  Core& init = core(initiator);
+  for (unsigned t : targets) {
+    init.charge(costs().tlb_shootdown_ipi);
+    ++ipis_sent_;
+    Core& target = core(t);
+    if (vaddr == 0) {
+      target.tlb().flush();
+    } else {
+      target.tlb().invalidate_page(vaddr);
+    }
+  }
+  // Initiator flushes its own TLB entry too.
+  if (vaddr == 0) {
+    init.tlb().flush();
+  } else {
+    init.tlb().invalidate_page(vaddr);
+  }
+}
+
+}  // namespace mv::hw

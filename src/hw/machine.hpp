@@ -1,0 +1,68 @@
+#pragma once
+
+// Machine topology: sockets × cores, shared physical memory with NUMA zones
+// (one per socket), page-table plumbing, and IPI delivery (used for TLB
+// shootdowns and HVM event doorbells).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/core.hpp"
+#include "hw/paging.hpp"
+#include "hw/phys_mem.hpp"
+#include "support/result.hpp"
+
+namespace mv::hw {
+
+struct MachineConfig {
+  unsigned sockets = 2;
+  unsigned cores_per_socket = 4;
+  std::uint64_t dram_bytes = 1ull << 33;  // 8 GiB, as the paper's testbed
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = {});
+
+  [[nodiscard]] unsigned core_count() const noexcept {
+    return static_cast<unsigned>(cores_.size());
+  }
+  [[nodiscard]] Core& core(unsigned id) { return *cores_.at(id); }
+  [[nodiscard]] const Core& core(unsigned id) const { return *cores_.at(id); }
+
+  [[nodiscard]] PhysMem& mem() noexcept { return mem_; }
+  [[nodiscard]] PageTables& paging() noexcept { return paging_; }
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] bool same_socket(unsigned a, unsigned b) const {
+    return core(a).socket() == core(b).socket();
+  }
+
+  // Cache-coherent line transfer cost between two cores.
+  [[nodiscard]] Cycles line_transfer_cost(unsigned from, unsigned to) const {
+    return same_socket(from, to) ? costs().cacheline_same_socket
+                                 : costs().cacheline_cross_socket;
+  }
+
+  // Deliver an IPI: charges the sender, vectors on the target immediately
+  // (the cooperative scheduler makes "immediately" well-defined).
+  Status send_ipi(unsigned from, unsigned to, std::uint8_t vector,
+                  std::uint64_t payload = 0);
+
+  // TLB shootdown of one page (or a full flush when vaddr==0) on a set of
+  // target cores; charges the initiator per the cost model.
+  void tlb_shootdown(unsigned initiator, const std::vector<unsigned>& targets,
+                     std::uint64_t vaddr);
+
+  [[nodiscard]] std::uint64_t ipis_sent() const noexcept { return ipis_sent_; }
+
+ private:
+  MachineConfig config_;
+  PhysMem mem_;
+  PageTables paging_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::uint64_t ipis_sent_ = 0;
+};
+
+}  // namespace mv::hw

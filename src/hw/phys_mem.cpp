@@ -1,0 +1,152 @@
+#include "hw/phys_mem.hpp"
+
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace mv::hw {
+
+PhysMem::PhysMem(std::uint64_t bytes, unsigned numa_zones)
+    : frame_count_(page_ceil(bytes) / kPageSize) {
+  if (numa_zones == 0) numa_zones = 1;
+  const std::uint64_t per_zone = frame_count_ / numa_zones;
+  std::uint64_t next = 0;
+  for (unsigned z = 0; z < numa_zones; ++z) {
+    const std::uint64_t count =
+        z + 1 == numa_zones ? frame_count_ - next : per_zone;
+    zones_.push_back(NumaZone{next, count});
+    next += count;
+  }
+  allocated_.assign(frame_count_, false);
+}
+
+Result<std::uint64_t> PhysMem::alloc_frame(unsigned zone) {
+  if (zone >= zones_.size()) return err(Err::kInval, "bad NUMA zone");
+  const NumaZone& z = zones_[zone];
+  for (std::uint64_t f = z.first_frame; f < z.first_frame + z.frame_count;
+       ++f) {
+    if (!allocated_[f]) {
+      allocated_[f] = true;
+      ++used_;
+      backing(f).fill(0);
+      return f * kPageSize;
+    }
+  }
+  return err(Err::kNoMem, "NUMA zone exhausted");
+}
+
+Result<std::vector<std::uint64_t>> PhysMem::alloc_frames(std::uint64_t count,
+                                                         unsigned zone) {
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto r = alloc_frame(zone);
+    if (!r) {
+      for (std::uint64_t paddr : out) free_frame(paddr);
+      return r.status();
+    }
+    out.push_back(*r);
+  }
+  return out;
+}
+
+Result<std::uint64_t> PhysMem::alloc_contiguous(std::uint64_t count,
+                                                unsigned zone) {
+  if (zone >= zones_.size()) return err(Err::kInval, "bad NUMA zone");
+  const NumaZone& z = zones_[zone];
+  std::uint64_t run = 0;
+  for (std::uint64_t f = z.first_frame; f < z.first_frame + z.frame_count;
+       ++f) {
+    run = allocated_[f] ? 0 : run + 1;
+    if (run == count) {
+      const std::uint64_t base = f + 1 - count;
+      for (std::uint64_t i = base; i <= f; ++i) {
+        allocated_[i] = true;
+        backing(i).fill(0);
+      }
+      used_ += count;
+      return base * kPageSize;
+    }
+  }
+  return err(Err::kNoMem, "no contiguous run");
+}
+
+Status PhysMem::free_frame(std::uint64_t paddr) {
+  const std::uint64_t frame = paddr >> kPageShift;
+  if (frame >= frame_count_) return err(Err::kInval, "frame out of range");
+  if (!allocated_[frame]) return err(Err::kState, "double free of frame");
+  allocated_[frame] = false;
+  --used_;
+  pages_.erase(frame);
+  return Status::ok();
+}
+
+Status PhysMem::reserve_range(std::uint64_t paddr, std::uint64_t bytes) {
+  const std::uint64_t first = paddr >> kPageShift;
+  const std::uint64_t last = (page_ceil(paddr + bytes) >> kPageShift);
+  if (last > frame_count_) return err(Err::kNoMem, "reserve beyond DRAM");
+  for (std::uint64_t f = first; f < last; ++f) {
+    if (allocated_[f]) return err(Err::kExist, "frame already allocated");
+  }
+  for (std::uint64_t f = first; f < last; ++f) {
+    allocated_[f] = true;
+    backing(f).fill(0);
+  }
+  used_ += last - first;
+  return Status::ok();
+}
+
+Status PhysMem::read(std::uint64_t paddr, void* out, std::uint64_t len) const {
+  if (!in_range(paddr, len)) return err(Err::kBadAddr, "phys read OOB");
+  auto* dst = static_cast<std::uint8_t*>(out);
+  while (len > 0) {
+    const std::uint64_t frame = paddr >> kPageShift;
+    const std::uint64_t off = page_offset(paddr);
+    const std::uint64_t chunk = std::min(len, kPageSize - off);
+    std::memcpy(dst, backing(frame).data() + off, chunk);
+    dst += chunk;
+    paddr += chunk;
+    len -= chunk;
+  }
+  return Status::ok();
+}
+
+Status PhysMem::write(std::uint64_t paddr, const void* in, std::uint64_t len) {
+  if (!in_range(paddr, len)) return err(Err::kBadAddr, "phys write OOB");
+  const auto* src = static_cast<const std::uint8_t*>(in);
+  while (len > 0) {
+    const std::uint64_t frame = paddr >> kPageShift;
+    const std::uint64_t off = page_offset(paddr);
+    const std::uint64_t chunk = std::min(len, kPageSize - off);
+    std::memcpy(backing(frame).data() + off, src, chunk);
+    src += chunk;
+    paddr += chunk;
+    len -= chunk;
+  }
+  return Status::ok();
+}
+
+Result<std::uint64_t> PhysMem::read_u64(std::uint64_t paddr) const {
+  std::uint64_t v = 0;
+  MV_RETURN_IF_ERROR(read(paddr, &v, sizeof(v)));
+  return v;
+}
+
+Status PhysMem::write_u64(std::uint64_t paddr, std::uint64_t value) {
+  return write(paddr, &value, sizeof(value));
+}
+
+std::uint8_t* PhysMem::page_ptr(std::uint64_t paddr) {
+  return backing(paddr >> kPageShift).data();
+}
+
+PhysMem::Page& PhysMem::backing(std::uint64_t frame) const {
+  auto it = pages_.find(frame);
+  if (it == pages_.end()) {
+    it = pages_.emplace(frame, std::make_unique<Page>()).first;
+    it->second->fill(0);
+  }
+  return *it->second;
+}
+
+}  // namespace mv::hw

@@ -1,0 +1,79 @@
+#include "multiverse/config.hpp"
+
+#include "support/strings.hpp"
+
+namespace mv::multiverse {
+
+Result<OverrideConfig> parse_override_config(const std::string& text) {
+  OverrideConfig config;
+  int lineno = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++lineno;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::vector<std::string> tokens;
+    for (const std::string& tok : split(line, ' ')) {
+      if (!std::string_view(trim(tok)).empty()) tokens.emplace_back(trim(tok));
+    }
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "override") {
+      if (tokens.size() < 3 || tokens.size() > 4) {
+        return err(Err::kParse,
+                   strfmt("line %d: override takes 2-3 operands", lineno));
+      }
+      OverrideSpec spec;
+      spec.legacy_name = tokens[1];
+      spec.kernel_symbol = tokens[2];
+      if (tokens.size() == 4) {
+        if (!starts_with(tokens[3], "args=")) {
+          return err(Err::kParse, strfmt("line %d: expected args=", lineno));
+        }
+        for (const std::string& pair :
+             split(std::string_view(tokens[3]).substr(5), ',')) {
+          const auto parts = split(pair, ':');
+          if (parts.size() != 2) {
+            return err(Err::kParse, strfmt("line %d: bad arg map", lineno));
+          }
+          spec.arg_map.emplace_back(std::stoi(parts[0]), std::stoi(parts[1]));
+        }
+      }
+      config.overrides.push_back(std::move(spec));
+    } else if (tokens[0] == "option") {
+      if (tokens.size() != 3) {
+        return err(Err::kParse, strfmt("line %d: option takes 2 operands",
+                                       lineno));
+      }
+      const bool value = tokens[2] == "on" || tokens[2] == "true" ||
+                         tokens[2] == "1";
+      if (tokens[1] == "merge_address_space") {
+        config.options.merge_address_space = value;
+      } else if (tokens[1] == "symbol_cache") {
+        config.options.symbol_cache = value;
+      } else if (tokens[1] == "sync_channel") {
+        config.options.sync_channel = value;
+      } else {
+        return err(Err::kParse,
+                   strfmt("line %d: unknown option '%s'", lineno,
+                          tokens[1].c_str()));
+      }
+    } else {
+      return err(Err::kParse, strfmt("line %d: unknown directive '%s'",
+                                     lineno, tokens[0].c_str()));
+    }
+  }
+  return config;
+}
+
+const std::string& default_override_config() {
+  static const std::string kDefault =
+      "# Multiverse default overrides: pthread calls map to AeroKernel\n"
+      "# threads with matching semantics.\n"
+      "override pthread_create nk_thread_create\n"
+      "override pthread_join nk_thread_join\n"
+      "override pthread_exit nk_thread_exit\n";
+  return kDefault;
+}
+
+}  // namespace mv::multiverse

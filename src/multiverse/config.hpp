@@ -1,0 +1,55 @@
+#pragma once
+
+// The Multiverse override configuration file. "For simple function wrappers,
+// the AeroKernel developer can simply make an addition to a configuration
+// file included in the Multiverse toolchain that specifies the function's
+// attributes and argument mappings between the legacy function and the
+// AeroKernel variant."
+//
+// Grammar (line oriented, '#' comments):
+//   override <legacy_name> <aerokernel_symbol> [args=<i>:<j>,<i>:<j>...]
+//   option   <key> <value>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace mv::multiverse {
+
+struct OverrideSpec {
+  std::string legacy_name;     // e.g. "pthread_create", "mmap"
+  std::string kernel_symbol;   // e.g. "nk_thread_create", "nk_mmap"
+  // Argument index mapping legacy->kernel; identity when empty.
+  std::vector<std::pair<int, int>> arg_map;
+};
+
+struct ToolchainOptions {
+  bool merge_address_space = true;
+  bool symbol_cache = false;
+  bool sync_channel = false;  // post-merge memory protocol for events
+};
+
+struct OverrideConfig {
+  std::vector<OverrideSpec> overrides;
+  ToolchainOptions options;
+
+  [[nodiscard]] const OverrideSpec* find(std::string_view legacy) const {
+    for (const auto& spec : overrides) {
+      if (spec.legacy_name == legacy) return &spec;
+    }
+    return nullptr;
+  }
+};
+
+// Parse the configuration text; unknown directives are errors (the toolchain
+// must not silently ignore a typo'd override).
+Result<OverrideConfig> parse_override_config(const std::string& text);
+
+// The default configuration the Multiverse runtime always applies: "The
+// Multiverse runtime component enforces default overrides that interpose on
+// pthread function calls."
+const std::string& default_override_config();
+
+}  // namespace mv::multiverse

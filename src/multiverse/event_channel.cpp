@@ -1,0 +1,220 @@
+#include "multiverse/event_channel.hpp"
+
+#include <cassert>
+
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace mv::multiverse {
+
+EventChannel::EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
+                           unsigned hrt_core)
+    : hvm_(&hvm), linux_(&linux), sched_(&sched), hrt_core_(hrt_core) {}
+
+Status EventChannel::init() {
+  MV_ASSIGN_OR_RETURN(page_, hvm_->hrt_alloc(hw::kPageSize));
+  return Status::ok();
+}
+
+std::uint64_t EventChannel::page_read(std::uint64_t off) const {
+  auto r = hvm_->machine().mem().read_u64(page_ + off);
+  assert(r.is_ok());
+  return *r;
+}
+
+void EventChannel::page_write(std::uint64_t off, std::uint64_t value) {
+  const Status s = hvm_->machine().mem().write_u64(page_ + off, value);
+  assert(s.is_ok());
+  (void)s;
+}
+
+Status EventChannel::enable_sync_mode(std::uint64_t sync_vaddr) {
+  // One hypercall to hand the HRT the synchronization address; every later
+  // round trip is pure shared memory.
+  MV_RETURN_IF_ERROR(
+      hvm_->hypercall(partner_ != nullptr ? partner_->core : 0,
+                      vmm::Hypercall::kSetupSyncCall, sync_vaddr)
+          .status());
+  sync_vaddr_ = sync_vaddr;
+  sync_mode_ = true;
+  return Status::ok();
+}
+
+Cycles EventChannel::transport_cost() const {
+  const auto& costs = hw::costs();
+  if (sync_mode_) {
+    const bool same_socket =
+        partner_ != nullptr &&
+        hvm_->machine().same_socket(hrt_core_, partner_->core);
+    return costs.sync_call_roundtrip(same_socket);
+  }
+  return costs.async_call_roundtrip();
+}
+
+void EventChannel::acquire() {
+  while (busy_) {
+    acquire_waiters_.push_back(sched_->current());
+    sched_->block();
+  }
+  busy_ = true;
+}
+
+void EventChannel::release() {
+  busy_ = false;
+  if (!acquire_waiters_.empty()) {
+    const TaskId next = acquire_waiters_.front();
+    acquire_waiters_.pop_front();
+    sched_->unblock(next);
+  }
+}
+
+Result<std::uint64_t> EventChannel::roundtrip(std::uint64_t kind) {
+  if (partner_ == nullptr) return err(Err::kState, "channel has no partner");
+  page_write(kOffKind, kind);
+  response_ready_ = false;
+  requester_ = sched_->current();
+
+  // The requester observes the full transport latency; the partner's actual
+  // handler work is charged on the ROS core by the service code.
+  hvm_->machine().core(hrt_core_).charge(transport_cost());
+
+  if (wake_server_) {
+    wake_server_();
+  } else if (partner_idle_) {
+    sched_->unblock(partner_->task);
+  }
+  while (!response_ready_) sched_->block();
+
+  const std::uint64_t status_code = page_read(kOffRspStatus);
+  const std::uint64_t value = page_read(kOffRspValue);
+  page_write(kOffKind, kIdle);
+  requester_ = kNoTask;
+  if (status_code != 0) {
+    return err(static_cast<Err>(status_code), "forwarded request failed");
+  }
+  return value;
+}
+
+Result<std::uint64_t> EventChannel::forward_syscall(
+    ros::SysNr nr, std::array<std::uint64_t, 6> args) {
+  acquire();
+  page_write(kOffSysNr, static_cast<std::uint64_t>(nr));
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    page_write(kOffArgs + 8 * i, args[i]);
+  }
+  auto result = roundtrip(kSyscall);
+  release();
+  return result;
+}
+
+Status EventChannel::forward_fault(std::uint64_t vaddr,
+                                   std::uint32_t error_code) {
+  acquire();
+  page_write(kOffVaddr, vaddr);
+  page_write(kOffError, error_code);
+  auto result = roundtrip(kFault);
+  release();
+  return result.status();
+}
+
+void EventChannel::notify_thread_exit(int hrt_tid) {
+  // "Asynchronous HRT-to-ROS signaling bypasses the ROS kernel": the HVM
+  // injects an "interrupt to user" into the registering process, whose
+  // handler (the Multiverse runtime) flips the partner's completion bit.
+  auto r = hvm_->hypercall(hrt_core_, vmm::Hypercall::kSignalRos,
+                           static_cast<std::uint64_t>(hrt_tid));
+  if (!r) {
+    // No handler registered (e.g. bare accelerator test); flip directly.
+    exited_tid_ = hrt_tid;
+    mark_exit();
+  }
+}
+
+void EventChannel::mark_exit() {
+  exit_ = true;
+  if (wake_server_) {
+    wake_server_();
+  } else if (partner_idle_ && partner_ != nullptr) {
+    sched_->unblock(partner_->task);
+  }
+}
+
+bool EventChannel::serve_pending(ros::Thread& server) {
+  if (page_read(kOffKind) == kIdle) return false;
+  ros::LinuxSim& kernel = *linux_;
+  hw::Core& ros_core = kernel.core_of(server);
+
+  const std::uint64_t kind = page_read(kOffKind);
+  ++requests_served_;
+  std::uint64_t rsp_status = 0;
+  std::uint64_t rsp_value = 0;
+
+  if (kind == kSyscall) {
+    const auto nr = static_cast<ros::SysNr>(page_read(kOffSysNr));
+    std::array<std::uint64_t, 6> args{};
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      args[i] = page_read(kOffArgs + 8 * i);
+    }
+    // Forwarded syscalls execute — and are accounted — in the originating
+    // ROS thread context, exactly as strace of the hybrid would show.
+    ros::Process& proc = *server.proc;
+    ++proc.sys_counts[static_cast<std::size_t>(nr)];
+    ++proc.total_syscalls;
+    const Cycles before = ros_core.cycles();
+    auto result = kernel.do_syscall(server, nr, args);
+    proc.stime_cycles += ros_core.cycles() - before;
+    if (proc.syscall_trace_enabled) {
+      proc.syscall_trace.push_back(ros::Process::SyscallEvent{
+          nr, server.tid, /*forwarded=*/true, args, result.value_or(0),
+          result.code()});
+    }
+    if (result) {
+      rsp_value = *result;
+    } else {
+      rsp_status = static_cast<std::uint64_t>(result.code());
+    }
+  } else if (kind == kFault) {
+    // "The HVM library simply replicates the access, which will cause the
+    // same exception to occur on the ROS core. The ROS will then handle it
+    // as it would normally." (Including SIGSEGV delivery to the guest's
+    // handler — that is how GC write barriers keep working in the HRT.)
+    const std::uint64_t vaddr = page_read(kOffVaddr);
+    const std::uint32_t error =
+        static_cast<std::uint32_t>(page_read(kOffError));
+    const hw::Access access =
+        (error & 2u) != 0 ? hw::Access::kWrite : hw::Access::kRead;
+    kernel.ensure_address_space(server);
+    const int saved_cpl = ros_core.cpl();
+    ros_core.set_cpl(3);
+    const Status replayed = ros_core.mem_touch(vaddr, access);
+    ros_core.set_cpl(saved_cpl);
+    if (!replayed.is_ok()) {
+      rsp_status = static_cast<std::uint64_t>(replayed.code());
+    }
+  } else {
+    rsp_status = static_cast<std::uint64_t>(Err::kProtocol);
+  }
+
+  page_write(kOffRspStatus, rsp_status);
+  page_write(kOffRspValue, rsp_value);
+  page_write(kOffKind, kIdle);
+  response_ready_ = true;
+  if (requester_ != kNoTask) sched_->unblock(requester_);
+  return true;
+}
+
+void EventChannel::service_loop() {
+  assert(partner_ != nullptr);
+  for (;;) {
+    // Sleep until a request or the exit signal arrives.
+    while (page_read(kOffKind) == kIdle && !exit_) {
+      partner_idle_ = true;
+      sched_->block();
+      partner_idle_ = false;
+    }
+    if (page_read(kOffKind) == kIdle && exit_) return;
+    (void)serve_pending(*partner_);
+  }
+}
+
+}  // namespace mv::multiverse

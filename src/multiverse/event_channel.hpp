@@ -1,0 +1,118 @@
+#pragma once
+
+// Event channels: "event-based, VMM-controlled communication channels
+// between the two contexts. The VMM only expects that the execution group
+// adheres to a strict protocol for event requests and completion."
+//
+// One channel exists per execution group. The HRT side (top-level thread and
+// its nested threads) writes requests into a shared physical page and raises
+// the partner; the partner services the request in the originating ROS
+// thread context and completes it. Two transports are modeled:
+//   - asynchronous (default): hypercall + VMM injection, ~25 K cycles RTT
+//   - synchronous (post-merge): pure memory polling protocol, ~0.8-1 K cycles
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "aerokernel/nautilus.hpp"
+#include "ros/linux.hpp"
+#include "support/result.hpp"
+#include "support/sched.hpp"
+#include "vmm/hvm.hpp"
+
+namespace mv::multiverse {
+
+class EventChannel final : public naut::LegacyChannel {
+ public:
+  EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
+               unsigned hrt_core);
+
+  // Allocate the shared channel page. Must be called before use.
+  Status init();
+
+  void bind_partner(ros::Thread* partner) { partner_ = partner; }
+  [[nodiscard]] ros::Thread* partner() noexcept { return partner_; }
+
+  // Post-merge synchronous transport ("a single hypercall to initiate
+  // synchronous operation... they can then use a simple memory-based
+  // protocol to communicate" without VMM intervention).
+  Status enable_sync_mode(std::uint64_t sync_vaddr);
+  [[nodiscard]] bool sync_mode() const noexcept { return sync_mode_; }
+
+  // --- HRT side (naut::LegacyChannel) ----------------------------------------
+  Result<std::uint64_t> forward_syscall(
+      ros::SysNr nr, std::array<std::uint64_t, 6> args) override;
+  Status forward_fault(std::uint64_t vaddr, std::uint32_t error_code) override;
+  void notify_thread_exit(int hrt_tid) override;
+
+  // --- ROS side -----------------------------------------------------------------
+  // Runs on the partner thread's task until the HRT thread's exit event.
+  void service_loop();
+  // Non-blocking: serve one pending request in `server`'s context if any.
+  // Used by the shared-daemon execution-group mode, which multiplexes many
+  // channels onto one ROS context.
+  bool serve_pending(ros::Thread& server);
+  [[nodiscard]] bool has_request() const { return page_read(kOffKind) != kIdle; }
+  [[nodiscard]] bool exit_requested() const noexcept { return exit_; }
+  // Flip the exit bit (invoked from the HVM "interrupt to user" handler).
+  void mark_exit();
+  // Override how the ROS-side server is woken (defaults to unblocking the
+  // bound partner's task when it is idle in service_loop()).
+  void set_wake_server(std::function<void()> wake) {
+    wake_server_ = std::move(wake);
+  }
+
+  // --- telemetry -------------------------------------------------------------------
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_served_;
+  }
+  [[nodiscard]] int exited_hrt_tid() const noexcept { return exited_tid_; }
+
+ private:
+  // Request kinds on the channel page.
+  enum : std::uint64_t { kIdle = 0, kSyscall = 1, kFault = 2 };
+
+  // Channel page offsets.
+  enum : std::uint64_t {
+    kOffKind = 0x00,
+    kOffSysNr = 0x08,
+    kOffArgs = 0x10,   // 6 x u64
+    kOffVaddr = 0x40,
+    kOffError = 0x48,
+    kOffRspStatus = 0x50,
+    kOffRspValue = 0x58,
+  };
+
+  std::uint64_t page_read(std::uint64_t off) const;
+  void page_write(std::uint64_t off, std::uint64_t value);
+
+  // Serialize concurrent requesters (nested + top-level threads share the
+  // channel), then run the request/response round trip.
+  Result<std::uint64_t> roundtrip(std::uint64_t kind);
+  void acquire();
+  void release();
+  [[nodiscard]] Cycles transport_cost() const;
+
+  vmm::Hvm* hvm_;
+  ros::LinuxSim* linux_;
+  Sched* sched_;
+  unsigned hrt_core_;
+  std::uint64_t page_ = 0;
+  ros::Thread* partner_ = nullptr;
+  bool sync_mode_ = false;
+  std::uint64_t sync_vaddr_ = 0;
+
+  std::function<void()> wake_server_;
+  bool busy_ = false;
+  std::deque<TaskId> acquire_waiters_;
+  TaskId requester_ = kNoTask;
+  bool response_ready_ = false;
+  bool partner_idle_ = false;
+  bool exit_ = false;
+  int exited_tid_ = -1;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace mv::multiverse

@@ -1,0 +1,549 @@
+#include "multiverse/runtime.hpp"
+
+#include <cassert>
+
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace mv::multiverse {
+
+namespace {
+constexpr std::uint64_t kHrtStackSize = 1024 * 1024;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HrtCtx
+// ---------------------------------------------------------------------------
+
+HrtCtx::HrtCtx(MultiverseRuntime& runtime, ExecGroup& group)
+    : rt_(&runtime), group_(&group) {
+  const std::uint64_t slices = kHrtStackSize / kScratchSliceBytes;
+  scratch_slice_ = group.next_scratch_slice++ % slices;
+}
+
+std::uint64_t HrtCtx::scratch_base() {
+  return group_->hrt_stack_base + scratch_slice_ * kScratchSliceBytes;
+}
+
+Result<std::uint64_t> HrtCtx::syscall(ros::SysNr nr,
+                                      std::array<std::uint64_t, 6> args) {
+  // AeroKernel overrides: if the developer overrode this legacy function,
+  // the wrapper resolves the AeroKernel symbol (charged lookup; cacheable)
+  // and invokes the kernel-mode variant directly — no forwarding.
+  const OverrideSpec* spec = nullptr;
+  switch (nr) {
+    case ros::SysNr::kMmap: spec = rt_->config().find("mmap"); break;
+    case ros::SysNr::kMunmap: spec = rt_->config().find("munmap"); break;
+    case ros::SysNr::kMprotect: spec = rt_->config().find("mprotect"); break;
+    default: break;
+  }
+  naut::Nautilus& naut = rt_->naut();
+  if (spec != nullptr) {
+    naut::NautThread* self = naut.current_thread();
+    const unsigned core = self != nullptr ? self->core : naut.boot_core();
+    MV_RETURN_IF_ERROR(
+        naut.symbols()
+            .resolve(rt_->hvm().machine().core(core), spec->kernel_symbol)
+            .status());
+    return rt_->kernel_mode_memop(nr, args, core);
+  }
+  auto result = naut.syscall_stub(nr, args);
+  if (nr == ros::SysNr::kExitGroup && result.is_ok()) {
+    group_->finished = true;
+  }
+  return result;
+}
+
+Status HrtCtx::mem_read(std::uint64_t vaddr, void* out, std::uint64_t len) {
+  return rt_->naut().hrt_mem_read(vaddr, out, len);
+}
+
+Status HrtCtx::mem_write(std::uint64_t vaddr, const void* in,
+                         std::uint64_t len) {
+  return rt_->naut().hrt_mem_write(vaddr, in, len);
+}
+
+Status HrtCtx::mem_touch(std::uint64_t vaddr, hw::Access access) {
+  return rt_->naut().hrt_mem_touch(vaddr, access);
+}
+
+ros::TimeVal HrtCtx::vdso_gettimeofday() {
+  // The merged address space makes the vdso/vvar pages directly readable
+  // from the HRT — this call never touches the event channel. The paper
+  // measured these *slightly faster* than in the ROS, attributing it to the
+  // sparsely populated TLB on the HRT core (modeled as slightly cheaper
+  // vdso code execution).
+  ros::Process& proc = *group_->partner->proc;
+  ++proc.vdso_gtod_calls;
+  rt_->linux().refresh_vvar(proc);
+  naut::Nautilus& naut = rt_->naut();
+  naut::NautThread* self = naut.current_thread();
+  hw::Core& core = rt_->hvm().machine().core(
+      self != nullptr ? self->core : naut.boot_core());
+  core.charge(hw::costs().mem_access * 3 + 28);
+  std::uint64_t sec = 0;
+  std::uint64_t usec = 0;
+  if (naut.hrt_mem_read(ros::kVvarVaddr + ros::VvarLayout::kOffSec, &sec,
+                        sizeof(sec))
+          .is_ok() &&
+      naut.hrt_mem_read(ros::kVvarVaddr + ros::VvarLayout::kOffUsec, &usec,
+                        sizeof(usec))
+          .is_ok()) {
+    return ros::TimeVal{sec, usec};
+  }
+  // Unmerged address space: no vvar visibility; fall back to the slow path.
+  const std::uint64_t us = rt_->linux().now_us();
+  return ros::TimeVal{us / 1000000, us % 1000000};
+}
+
+std::uint64_t HrtCtx::vdso_getpid() {
+  ros::Process& proc = *group_->partner->proc;
+  ++proc.vdso_getpid_calls;
+  naut::Nautilus& naut = rt_->naut();
+  naut::NautThread* self = naut.current_thread();
+  rt_->hvm()
+      .machine()
+      .core(self != nullptr ? self->core : naut.boot_core())
+      .charge(hw::costs().mem_access + 14);
+  std::uint64_t pid = 0;
+  if (naut.hrt_mem_read(ros::kVvarVaddr + ros::VvarLayout::kOffPid, &pid,
+                        sizeof(pid))
+          .is_ok()) {
+    return pid;
+  }
+  return static_cast<std::uint64_t>(proc.pid);
+}
+
+Result<int> HrtCtx::thread_create(ros::GuestThreadFn fn) {
+  // Default override: pthread_create -> nk_thread_create. The new thread is
+  // a *nested* HRT thread sharing this group's channel (Sec 4.2).
+  naut::Nautilus& naut = rt_->naut();
+  naut::NautThread* self = naut.current_thread();
+  const unsigned core = self != nullptr ? self->core : naut.boot_core();
+  MV_RETURN_IF_ERROR(naut.symbols()
+                         .resolve(rt_->hvm().machine().core(core),
+                                  "nk_thread_create")
+                         .status());
+  MultiverseRuntime* rt = rt_;
+  ExecGroup* group = group_;
+  MV_ASSIGN_OR_RETURN(
+      naut::NautThread* const thread,
+      naut.thread_create(
+          [rt, group, fn = std::move(fn)]() {
+            HrtCtx ctx(*rt, *group);
+            try {
+              fn(ctx);
+            } catch (const ros::GuestExit&) {
+            }
+          },
+          /*nested=*/true, group_->channel.get(),
+          strfmt("hrt-nested-g%d", group_->id)));
+  return thread->id;
+}
+
+Status HrtCtx::thread_join(int tid) {
+  naut::Nautilus& naut = rt_->naut();
+  naut::NautThread* self = naut.current_thread();
+  const unsigned core = self != nullptr ? self->core : naut.boot_core();
+  MV_RETURN_IF_ERROR(
+      naut.symbols()
+          .resolve(rt_->hvm().machine().core(core), "nk_thread_join")
+          .status());
+  return naut.thread_join(tid);
+}
+
+void HrtCtx::thread_yield() { rt_->linux().sched().yield(); }
+
+Status HrtCtx::sigaction(int sig, ros::GuestSigHandler handler) {
+  // Registration is forwarded (counted as rt_sigaction in the ROS); the
+  // handler itself will run in the originating ROS thread context when the
+  // partner replays a faulting access.
+  MV_RETURN_IF_ERROR(
+      syscall(ros::SysNr::kRtSigaction,
+              {static_cast<std::uint64_t>(sig), 0, 0, 0, 0, 0})
+          .status());
+  ros::Process& proc = *group_->partner->proc;
+  if (sig < 0 || sig >= ros::kNumSignals) return err(Err::kInval);
+  proc.sig[static_cast<std::size_t>(sig)] =
+      ros::SigEntry{std::move(handler), true, false};
+  return Status::ok();
+}
+
+void HrtCtx::charge_user(std::uint64_t cycles) {
+  naut::Nautilus& naut = rt_->naut();
+  naut::NautThread* self = naut.current_thread();
+  rt_->hvm()
+      .machine()
+      .core(self != nullptr ? self->core : naut.boot_core())
+      .charge(cycles);
+  group_->partner->proc->utime_cycles += cycles;
+}
+
+Result<std::uint64_t> HrtCtx::aerokernel_call(std::string_view symbol,
+                                              std::uint64_t arg) {
+  naut::Nautilus& naut = rt_->naut();
+  naut::NautThread* self = naut.current_thread();
+  const unsigned core = self != nullptr ? self->core : naut.boot_core();
+  MV_ASSIGN_OR_RETURN(
+      const std::uint64_t vaddr,
+      naut.symbols().resolve(rt_->hvm().machine().core(core), symbol));
+  return naut.call_function(vaddr, arg);
+}
+
+// ---------------------------------------------------------------------------
+// MultiverseRuntime
+// ---------------------------------------------------------------------------
+
+MultiverseRuntime::MultiverseRuntime(Sched& sched, ros::LinuxSim& linux,
+                                     vmm::Hvm& hvm, naut::Nautilus& naut)
+    : sched_(&sched), linux_(&linux), hvm_(&hvm), naut_(&naut) {}
+
+Status MultiverseRuntime::startup(ros::Thread& main_thread,
+                                  std::span<const std::uint8_t> fat_binary) {
+  process_ = main_thread.proc;
+  hw::Core& core = linux_->core_of(main_thread);
+
+  // 1. Parse the embedded AeroKernel image and configuration out of the fat
+  //    binary (charged: this is real work the runtime does at startup).
+  core.charge(hw::costs().mem_access * (fat_binary.size() / 64 + 1));
+  MV_ASSIGN_OR_RETURN(Toolchain::Parsed parsed, Toolchain::load(fat_binary));
+  config_ = parsed.config;
+
+  // 2. Install the image in HRT physical memory and boot the AeroKernel.
+  MV_RETURN_IF_ERROR(
+      hvm_->install_hrt_image(main_thread.core, parsed.binary.aerokernel_image)
+          .status());
+  MV_RETURN_IF_ERROR(
+      hvm_->hypercall(main_thread.core, vmm::Hypercall::kBootHrt).status());
+  naut_->symbols().set_cache_enabled(config_.options.symbol_cache);
+
+  // 3. Register the ROS signal handler + stack with the HVM (exit signaling
+  //    bypasses the ROS kernel entirely).
+  hvm_->register_ros_user_interrupt(
+      /*handler_id=*/1,
+      [this](std::uint64_t payload) { on_user_interrupt(payload); });
+
+  // 4. AeroKernel function linkage.
+  link_aerokernel_functions();
+
+  // 5. Merge the address spaces (state superposition), and extend the ROS
+  //    address space's TLB coherency domain to the HRT cores so mprotect
+  //    downgrades reach them.
+  if (config_.options.merge_address_space) {
+    MV_RETURN_IF_ERROR(
+        hvm_->hypercall(main_thread.core, vmm::Hypercall::kMergeAddressSpaces,
+                        process_->as->cr3())
+            .status());
+    std::vector<unsigned> domain = process_->as->coherency_domain();
+    for (const unsigned c : hvm_->config().hrt_cores) domain.push_back(c);
+    process_->as->set_coherency_domain(std::move(domain));
+  }
+
+  started_ = true;
+  return Status::ok();
+}
+
+Status MultiverseRuntime::shutdown() {
+  for (const auto& group : groups_) {
+    if (group->finished) continue;
+    if (group->uses_daemon) {
+      return err(Err::kState, "shutdown with live execution groups");
+    }
+    if (group->partner != nullptr && !group->partner->exited) {
+      return err(Err::kState, "shutdown with live execution groups");
+    }
+  }
+  // Retire the shared daemon, if the daemon mode was used.
+  if (daemon_thread_ != nullptr && !daemon_stop_) {
+    daemon_stop_ = true;
+    wake_daemon();
+    ros::Thread* self = linux_->current_thread();
+    if (self != nullptr) {
+      MV_RETURN_IF_ERROR(linux_->join_thread(*self, daemon_thread_->tid));
+    }
+    daemon_thread_ = nullptr;
+  }
+  started_ = false;
+  return Status::ok();
+}
+
+void MultiverseRuntime::link_aerokernel_functions() {
+  // Bind behaviour to the image's exported symbols so accelerator-model code
+  // can call straight into the kernel.
+  auto bind = [&](const char* name,
+                  std::function<std::uint64_t(std::uint64_t)> fn) {
+    const auto vaddr = naut_->symbols().resolve(
+        hvm_->machine().core(naut_->boot_core()), name);
+    if (vaddr) naut_->bind_function(*vaddr, std::move(fn));
+  };
+  bind("aerokernel_func", [](std::uint64_t arg) { return arg * 2 + 42; });
+  bind("nk_counter_read", [this](std::uint64_t) {
+    return hvm_->machine().core(naut_->boot_core()).cycles();
+  });
+  bind("nk_rand", [state = std::uint64_t{0x853c49e6748fea9bull}](
+                      std::uint64_t) mutable {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  });
+  bind("nk_malloc", [this](std::uint64_t bytes) {
+    auto r = naut_->kmalloc(bytes);
+    return r.is_ok() ? *r : 0;
+  });
+}
+
+void MultiverseRuntime::on_user_interrupt(std::uint64_t hrt_tid) {
+  const auto it = groups_by_hrt_tid_.find(static_cast<int>(hrt_tid));
+  if (it == groups_by_hrt_tid_.end()) {
+    MV_WARN("multiverse", strfmt("exit signal for unknown HRT thread %llu",
+                                 static_cast<unsigned long long>(hrt_tid)));
+    return;
+  }
+  // "The thread exit signal handler in the ROS flips a bit in the
+  // appropriate partner thread's data structure."
+  it->second->channel->mark_exit();
+}
+
+Result<ExecGroup*> MultiverseRuntime::create_group(ros::Thread& caller,
+                                                   ros::GuestThreadFn fn) {
+  if (!started_) return err(Err::kState, "Multiverse runtime not started");
+  auto group = std::make_unique<ExecGroup>();
+  group->id = next_group_id_++;
+  group->runtime = this;
+  group->body = std::move(fn);
+  const unsigned hrt_core = hvm_->config().hrt_cores.front();
+  group->channel =
+      std::make_unique<EventChannel>(*hvm_, *linux_, *sched_, hrt_core);
+  MV_RETURN_IF_ERROR(group->channel->init());
+
+  ExecGroup* raw = group.get();
+  groups_.push_back(std::move(group));
+  groups_by_id_[raw->id] = raw;
+
+  if (group_mode_ == GroupMode::kSharedDaemon) {
+    // Future-work variant: no dedicated partner. The caller launches the HRT
+    // thread itself; one shared daemon services every channel.
+    raw->uses_daemon = true;
+    MV_RETURN_IF_ERROR(ensure_daemon(caller));
+    raw->partner = daemon_thread_;
+    raw->channel->bind_partner(daemon_thread_);
+    raw->channel->set_wake_server([this] { wake_daemon(); });
+    daemon_groups_.push_back(raw);
+    ros::NativeCtx launcher_ctx(*linux_, caller);
+    MV_RETURN_IF_ERROR(launch_hrt_thread(raw, caller, launcher_ctx));
+    return raw;
+  }
+
+  // Partner creation is an ordinary ROS thread creation (counted as clone).
+  ros::Process& proc = *caller.proc;
+  ++proc.sys_counts[static_cast<std::size_t>(ros::SysNr::kClone)];
+  ++proc.total_syscalls;
+  MV_ASSIGN_OR_RETURN(
+      ros::Thread* const partner,
+      linux_->spawn_thread(
+          proc,
+          [this, raw](ros::SysIface& pctx) { partner_body(raw, pctx); },
+          strfmt("partner-g%d", raw->id)));
+  raw->partner = partner;
+  raw->channel->bind_partner(partner);
+  return raw;
+}
+
+// Allocate the ROS-side stack, capture the superposition payload from the
+// launcher, register the one-shot trampoline, and ask the HVM to create the
+// HRT thread. Shared by both execution-group structures.
+Status MultiverseRuntime::launch_hrt_thread(ExecGroup* group,
+                                            ros::Thread& launcher,
+                                            ros::SysIface& lctx) {
+  // (Fig 7 step 3) "allocate a ROS-side stack for a new HRT thread then
+  // invoke the HVM to request a thread creation in the HRT using that
+  // stack."
+  MV_ASSIGN_OR_RETURN(
+      group->hrt_stack_base,
+      lctx.mmap(0, kHrtStackSize, ros::kProtRead | ros::kProtWrite,
+                ros::kMapPrivate | ros::kMapAnonymous));
+  group->hrt_stack_size = kHrtStackSize;
+
+  // Superposition payload: mirror the ROS GDT and the TLS state (%fs).
+  group->fs_base = launcher.fs_base;
+  group->gdt = hvm_->machine().core(launcher.core).gdt();
+
+  // Register the one-shot trampoline the HVM function-call event will run.
+  const std::uint64_t invocation = next_invocation_id_++;
+  MultiverseRuntime* rt = this;
+  naut_->bind_function(invocation, [rt, group](std::uint64_t) -> std::uint64_t {
+    naut::NautThread* self = rt->naut_->current_thread();
+    assert(self != nullptr);
+    // Adopt the group's channel and apply the state superpositions.
+    self->channel = group->channel.get();
+    self->fs_base = group->fs_base;
+    hw::Core& hcore = rt->hvm_->machine().core(self->core);
+    hcore.load_gdt(group->gdt);
+    hcore.set_fs_base(group->fs_base);
+    hcore.charge(hw::costs().mem_access * 16);  // GDT/TLS mirror writes
+    group->hrt_tid = self->id;
+    rt->groups_by_hrt_tid_[self->id] = group;
+    HrtCtx ctx(*rt, *group);
+    try {
+      group->body(ctx);
+    } catch (const ros::GuestExit&) {
+    }
+    return 0;
+  });
+
+  MV_ASSIGN_OR_RETURN(
+      const std::uint64_t tid,
+      hvm_->hypercall(launcher.core, vmm::Hypercall::kAsyncCall, invocation,
+                      group->hrt_stack_base));
+  // "Multiverse keeps track of the Nautilus thread data (sent from the
+  // remote core after creation succeeds)."
+  group->hrt_tid = static_cast<int>(tid);
+  groups_by_hrt_tid_[group->hrt_tid] = group;
+
+  if (config_.options.sync_channel && naut_->merged()) {
+    (void)group->channel->enable_sync_mode(group->hrt_stack_base);
+  }
+  return Status::ok();
+}
+
+void MultiverseRuntime::partner_body(ExecGroup* group, ros::SysIface& pctx) {
+  ros::Thread* partner = group->partner;
+  const Status launched = launch_hrt_thread(group, *partner, pctx);
+  if (!launched.is_ok()) {
+    MV_ERROR("multiverse",
+             "HRT thread creation failed: " + launched.to_string());
+    group->finished = true;
+    return;
+  }
+
+  // Serve the group's events until the HRT thread exits.
+  group->channel->service_loop();
+
+  // Cleanup: release the HRT thread's ROS-side stack, then let the caller's
+  // join() unblock ("the partner can then initiate its cleanup routines and
+  // exit, at which point the main thread will be unblocked").
+  (void)pctx.munmap(group->hrt_stack_base, group->hrt_stack_size);
+  group->finished = true;
+}
+
+// --- shared-daemon execution groups (future-work variant) -------------------
+
+void MultiverseRuntime::wake_daemon() {
+  if (daemon_idle_ && daemon_thread_ != nullptr) {
+    sched_->unblock(daemon_thread_->task);
+  }
+}
+
+Status MultiverseRuntime::ensure_daemon(ros::Thread& caller) {
+  if (daemon_thread_ != nullptr) return Status::ok();
+  ros::Process& proc = *caller.proc;
+  ++proc.sys_counts[static_cast<std::size_t>(ros::SysNr::kClone)];
+  ++proc.total_syscalls;
+  MV_ASSIGN_OR_RETURN(
+      daemon_thread_,
+      linux_->spawn_thread(
+          proc, [this](ros::SysIface& dctx) { daemon_body(dctx); },
+          "mv-daemon"));
+  return Status::ok();
+}
+
+void MultiverseRuntime::daemon_body(ros::SysIface& dctx) {
+  ros::Thread* self = linux_->current_thread();
+  assert(self != nullptr);
+  for (;;) {
+    bool progress = false;
+    for (ExecGroup* group : daemon_groups_) {
+      if (group->finished) continue;
+      EventChannel& channel = *group->channel;
+      if (channel.has_request()) {
+        progress |= channel.serve_pending(*self);
+      }
+      if (channel.exit_requested() && !channel.has_request()) {
+        (void)dctx.munmap(group->hrt_stack_base, group->hrt_stack_size);
+        group->finished = true;
+        for (const TaskId waiter : group->join_waiters) {
+          sched_->unblock(waiter);
+        }
+        group->join_waiters.clear();
+        progress = true;
+      }
+    }
+    if (daemon_stop_) {
+      bool all_done = true;
+      for (const ExecGroup* group : daemon_groups_) {
+        all_done &= group->finished;
+      }
+      if (all_done) return;
+    }
+    if (!progress) {
+      daemon_idle_ = true;
+      sched_->block();
+      daemon_idle_ = false;
+    }
+  }
+}
+
+Status MultiverseRuntime::hrt_invoke_func(ros::Thread& caller,
+                                          ros::GuestThreadFn fn) {
+  MV_ASSIGN_OR_RETURN(ExecGroup* const group,
+                      create_group(caller, std::move(fn)));
+  return hrt_thread_join(caller, group->id);
+}
+
+Result<int> MultiverseRuntime::hrt_thread_create(ros::Thread& caller,
+                                                 ros::GuestThreadFn fn) {
+  MV_ASSIGN_OR_RETURN(ExecGroup* const group,
+                      create_group(caller, std::move(fn)));
+  return group->id;
+}
+
+Status MultiverseRuntime::hrt_thread_join(ros::Thread& caller, int group_id) {
+  const auto it = groups_by_id_.find(group_id);
+  if (it == groups_by_id_.end()) return err(Err::kNoEnt, "no such group");
+  ExecGroup* group = it->second;
+  ros::Process& proc = *caller.proc;
+  ++proc.sys_counts[static_cast<std::size_t>(ros::SysNr::kFutex)];
+  ++proc.total_syscalls;
+  if (group->uses_daemon) {
+    // No partner to join: park on the group until the daemon finishes it.
+    while (!group->finished) {
+      group->join_waiters.push_back(caller.task);
+      ++proc.nvcsw;
+      linux_->core_of(caller).charge(hw::costs().ros_context_switch);
+      sched_->block();
+    }
+    return Status::ok();
+  }
+  // Join the partner directly; it exits only after its HRT thread does.
+  return linux_->join_thread(caller, group->partner->tid);
+}
+
+Result<std::uint64_t> MultiverseRuntime::kernel_mode_memop(
+    ros::SysNr nr, std::array<std::uint64_t, 6> args, unsigned hrt_core) {
+  // Kernel-mode page-table manipulation: no ring crossing, no forwarding, no
+  // VMM exits — "page table edits combined with page faults, all of which
+  // can occur hundreds of times faster within the kernel".
+  if (process_ == nullptr) return err(Err::kState, "no process");
+  hw::Core& core = hvm_->machine().core(hrt_core);
+  ros::AddressSpace& as = *process_->as;
+  switch (nr) {
+    case ros::SysNr::kMmap:
+      core.charge(220);
+      return as.mmap(args[0], args[1], static_cast<int>(args[2]),
+                     static_cast<int>(args[3]));
+    case ros::SysNr::kMunmap:
+      core.charge(180 + 20 * (hw::page_ceil(args[1]) / hw::kPageSize));
+      MV_RETURN_IF_ERROR(as.munmap(args[0], args[1]));
+      return std::uint64_t{0};
+    case ros::SysNr::kMprotect:
+      core.charge(160 + 30 * (hw::page_ceil(args[1]) / hw::kPageSize));
+      MV_RETURN_IF_ERROR(
+          as.mprotect(hrt_core, args[0], args[1], static_cast<int>(args[2])));
+      return std::uint64_t{0};
+    default:
+      return err(Err::kUnsupported, "no kernel-mode variant");
+  }
+}
+
+}  // namespace mv::multiverse

@@ -1,0 +1,178 @@
+#pragma once
+
+// The Multiverse runtime component: the code the toolchain links into the
+// application. Performs the initialization tasks of Sec 3.5 (signal handler
+// registration, exit hooking, AeroKernel function linkage, image install,
+// boot, address-space merger), owns the execution groups of Sec 4.2 (partner
+// threads, top-level and nested HRT threads, join semantics, exit
+// signaling), and implements AeroKernel overrides (Sec 3.4).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aerokernel/nautilus.hpp"
+#include "multiverse/event_channel.hpp"
+#include "multiverse/toolchain.hpp"
+#include "ros/linux.hpp"
+#include "support/result.hpp"
+#include "vmm/hvm.hpp"
+
+namespace mv::multiverse {
+
+class MultiverseRuntime;
+
+// One execution group: a top-level HRT thread paired with its ROS partner.
+struct ExecGroup {
+  int id = 0;
+  MultiverseRuntime* runtime = nullptr;
+  std::unique_ptr<EventChannel> channel;
+  ros::Thread* partner = nullptr;
+  int hrt_tid = -1;                 // Nautilus thread id, set after creation
+  std::uint64_t hrt_stack_base = 0; // ROS-side stack the partner allocated
+  std::uint64_t hrt_stack_size = 0;
+  ros::GuestThreadFn body;          // what the HRT thread runs
+  std::uint64_t fs_base = 0;        // TLS superposition payload
+  hw::Gdt gdt;                      // GDT superposition payload
+  bool finished = false;
+  // Each HRT context (top-level + nested threads) stages syscall arguments
+  // in its own slice of the ROS-side stack, so concurrent requests on the
+  // shared channel cannot clobber each other's buffers.
+  std::uint64_t next_scratch_slice = 0;
+  // Shared-daemon mode (no dedicated partner): joiners park here.
+  bool uses_daemon = false;
+  std::vector<TaskId> join_waiters;
+};
+
+// How execution groups are structured on the ROS side (the paper's future
+// work: "radically different execution groups"):
+//   kDedicatedPartner — the paper's design: one ROS partner thread per
+//                       top-level HRT thread (preserves join semantics
+//                       directly, scales ROS threads with HRT threads).
+//   kSharedDaemon     — one ROS daemon services every group's channel
+//                       (constant ROS-side footprint, serialized service).
+enum class GroupMode { kDedicatedPartner, kSharedDaemon };
+
+// SysIface for code executing in HRT context. Same programs, different
+// plumbing: syscalls hit the Nautilus stub and forward over the group's
+// event channel; memory goes through the HRT core against the merged address
+// space; pthread calls are overridden to AeroKernel threads.
+class HrtCtx final : public ros::SysIface {
+ public:
+  HrtCtx(MultiverseRuntime& runtime, ExecGroup& group);
+
+  Result<std::uint64_t> syscall(ros::SysNr nr,
+                                std::array<std::uint64_t, 6> args) override;
+  Status mem_read(std::uint64_t vaddr, void* out, std::uint64_t len) override;
+  Status mem_write(std::uint64_t vaddr, const void* in,
+                   std::uint64_t len) override;
+  Status mem_touch(std::uint64_t vaddr, hw::Access access) override;
+  ros::TimeVal vdso_gettimeofday() override;
+  std::uint64_t vdso_getpid() override;
+  Result<int> thread_create(ros::GuestThreadFn fn) override;
+  Status thread_join(int tid) override;
+  void thread_yield() override;
+  Status sigaction(int sig, ros::GuestSigHandler handler) override;
+  void charge_user(std::uint64_t cycles) override;
+  std::uint64_t scratch_base() override;
+  std::uint64_t scratch_size() override { return kScratchSliceBytes - 4096; }
+  [[nodiscard]] Mode mode() const override { return Mode::kHrt; }
+
+  // Accelerator-model direct AeroKernel call (Fig 4's aerokernel_func()).
+  Result<std::uint64_t> aerokernel_call(std::string_view symbol,
+                                        std::uint64_t arg);
+
+  [[nodiscard]] ExecGroup& group() noexcept { return *group_; }
+
+  static constexpr std::uint64_t kScratchSliceBytes = 64 * 1024;
+
+ private:
+  MultiverseRuntime* rt_;
+  ExecGroup* group_;
+  std::uint64_t scratch_slice_ = 0;
+};
+
+class MultiverseRuntime {
+ public:
+  MultiverseRuntime(Sched& sched, ros::LinuxSim& linux, vmm::Hvm& hvm,
+                    naut::Nautilus& naut);
+
+  // ------ toolchain-inserted initialization (before the program's main) ----
+  // Parses the fat binary, installs and boots the AeroKernel, registers the
+  // ROS signal handlers, links AeroKernel functions, merges address spaces.
+  Status startup(ros::Thread& main_thread,
+                 std::span<const std::uint8_t> fat_binary);
+  // Process-exit hook: shuts the HRT down (all groups must have finished).
+  Status shutdown();
+
+  // ------ usage-model entry points -------------------------------------------
+  // Accelerator model: run `fn` to completion in a fresh HRT thread
+  // (hrt_invoke_func() of Fig 4). Blocks the caller via partner join.
+  Status hrt_invoke_func(ros::Thread& caller, ros::GuestThreadFn fn);
+  // Incremental model / overridden pthread_create: returns a group id the
+  // caller can later join (join blocks on the partner, per Sec 4.2).
+  Result<int> hrt_thread_create(ros::Thread& caller, ros::GuestThreadFn fn);
+  Status hrt_thread_join(ros::Thread& caller, int group_id);
+
+  // ------ accessors -----------------------------------------------------------
+  [[nodiscard]] const OverrideConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] naut::Nautilus& naut() noexcept { return *naut_; }
+  [[nodiscard]] ros::LinuxSim& linux() noexcept { return *linux_; }
+  [[nodiscard]] vmm::Hvm& hvm() noexcept { return *hvm_; }
+  [[nodiscard]] ros::Process* process() noexcept { return process_; }
+  [[nodiscard]] bool started() const noexcept { return started_; }
+  [[nodiscard]] std::uint64_t groups_created() const noexcept {
+    return next_group_id_ - 1;
+  }
+  void set_group_mode(GroupMode mode) noexcept { group_mode_ = mode; }
+  [[nodiscard]] GroupMode group_mode() const noexcept { return group_mode_; }
+
+  // Kernel-mode memory-op overrides (the incremental->accelerator porting
+  // path of Sec 5's conclusion: mmap/mprotect "hundreds of times faster
+  // within the kernel").
+  Result<std::uint64_t> kernel_mode_memop(ros::SysNr nr,
+                                          std::array<std::uint64_t, 6> args,
+                                          unsigned hrt_core);
+
+ private:
+  friend class HrtCtx;
+
+  Result<ExecGroup*> create_group(ros::Thread& caller, ros::GuestThreadFn fn);
+  void partner_body(ExecGroup* group, ros::SysIface& pctx);
+  // Shared-daemon mode internals.
+  Status ensure_daemon(ros::Thread& caller);
+  void daemon_body(ros::SysIface& dctx);
+  void wake_daemon();
+  Status launch_hrt_thread(ExecGroup* group, ros::Thread& launcher,
+                           ros::SysIface& lctx);
+  void link_aerokernel_functions();
+  void on_user_interrupt(std::uint64_t hrt_tid);
+
+  Sched* sched_;
+  ros::LinuxSim* linux_;
+  vmm::Hvm* hvm_;
+  naut::Nautilus* naut_;
+  OverrideConfig config_;
+  ros::Process* process_ = nullptr;
+  bool started_ = false;
+  int next_group_id_ = 1;
+  std::vector<std::unique_ptr<ExecGroup>> groups_;
+  std::map<int, ExecGroup*> groups_by_hrt_tid_;
+  std::map<int, ExecGroup*> groups_by_id_;
+  // Trampoline registry for HVM async function-call requests.
+  std::map<std::uint64_t, ExecGroup*> pending_invocations_;
+  std::uint64_t next_invocation_id_ = 0x100000;
+  // Shared-daemon state.
+  GroupMode group_mode_ = GroupMode::kDedicatedPartner;
+  ros::Thread* daemon_thread_ = nullptr;
+  std::vector<ExecGroup*> daemon_groups_;
+  bool daemon_idle_ = false;
+  bool daemon_stop_ = false;
+};
+
+}  // namespace mv::multiverse

@@ -1,0 +1,156 @@
+#include "multiverse/system.hpp"
+
+#include <cassert>
+
+#include "support/log.hpp"
+
+namespace mv::multiverse {
+
+namespace {
+
+hw::MachineConfig machine_config(const SystemConfig& cfg) {
+  hw::MachineConfig mc;
+  mc.sockets = cfg.sockets;
+  mc.cores_per_socket = cfg.cores_per_socket;
+  mc.dram_bytes = cfg.dram_bytes;
+  return mc;
+}
+
+vmm::HvmConfig hvm_config(const SystemConfig& cfg) {
+  vmm::HvmConfig hc;
+  hc.ros_cores = {cfg.ros_core};
+  hc.hrt_cores = {cfg.hrt_core};
+  hc.ros_mem_bytes = cfg.ros_mem_bytes;
+  return hc;
+}
+
+ros::LinuxSim::Config linux_config(const SystemConfig& cfg) {
+  ros::LinuxSim::Config lc;
+  lc.cores = {cfg.ros_core};
+  lc.virtualized = cfg.virtualized;
+  lc.numa_zone = 0;
+  return lc;
+}
+
+}  // namespace
+
+HybridSystem::HybridSystem(SystemConfig config)
+    : config_(config),
+      machine_(machine_config(config)),
+      hvm_(machine_, hvm_config(config)),
+      linux_(machine_, sched_, linux_config(config)),
+      naut_(machine_, sched_, hvm_, config.naut_config),
+      runtime_(sched_, linux_, hvm_, naut_) {
+  runtime_.set_group_mode(config.group_mode);
+  Toolchain::BuildInputs inputs;
+  inputs.program_name = "hybrid-program";
+  inputs.extra_override_config = config_.extra_override_config;
+  auto fb = Toolchain::build(inputs);
+  assert(fb.is_ok() && "toolchain build failed");
+  fat_binary_ = fb->serialize();
+}
+
+ProgramResult HybridSystem::collect(const ros::Process& proc,
+                                    std::uint64_t start_us, bool hybrid) {
+  ProgramResult r;
+  r.exit_code = proc.exit_code;
+  r.killed = proc.killed_by_signal;
+  r.fatal_signal = proc.fatal_signal;
+  r.stdout_text = proc.stdout_text;
+  r.stderr_text = proc.stderr_text;
+  r.total_syscalls = proc.total_syscalls;
+  for (std::size_t i = 0; i < proc.sys_counts.size(); ++i) {
+    if (proc.sys_counts[i] != 0) {
+      r.syscall_histogram[ros::sysnr_name(static_cast<ros::SysNr>(i))] =
+          proc.sys_counts[i];
+    }
+  }
+  r.vdso_calls = proc.vdso_getpid_calls + proc.vdso_gtod_calls;
+  r.max_rss_kb = proc.as->max_resident_pages() * hw::kPageSize / 1024;
+  r.minor_faults = proc.as->minor_faults();
+  r.major_faults = proc.as->major_faults();
+  r.page_faults = r.minor_faults + r.major_faults;
+  r.ctx_switches = proc.nvcsw + proc.nivcsw;
+  r.signals_delivered = proc.signals_delivered;
+  r.utime_s = cycles_to_seconds(proc.utime_cycles);
+  r.stime_s = cycles_to_seconds(proc.stime_cycles);
+  r.elapsed_s = static_cast<double>(linux_.now_us() - start_us) / 1e6;
+  if (hybrid) {
+    r.forwarded_syscalls = naut_.forwarded_syscalls();
+    r.forwarded_faults = naut_.forwarded_faults();
+    r.remerges = naut_.remerge_count();
+  }
+  return r;
+}
+
+Result<ProgramResult> HybridSystem::run(
+    const std::string& name, std::function<int(ros::SysIface&)> guest_main) {
+  const std::uint64_t start_us = linux_.now_us();
+  MV_ASSIGN_OR_RETURN(ros::Process* const proc,
+                      linux_.spawn(name, std::move(guest_main)));
+  MV_RETURN_IF_ERROR(linux_.run_all());
+  return collect(*proc, start_us, /*hybrid=*/false);
+}
+
+Result<ProgramResult> HybridSystem::run_hybrid(
+    const std::string& name, std::function<int(ros::SysIface&)> guest_main) {
+  const std::uint64_t start_us = linux_.now_us();
+  MultiverseRuntime* rt = &runtime_;
+  ros::LinuxSim* kernel = &linux_;
+  const std::vector<std::uint8_t>* fat = &fat_binary_;
+
+  MV_ASSIGN_OR_RETURN(
+      ros::Process* const proc,
+      linux_.spawn(name, [rt, kernel, fat, guest_main = std::move(guest_main)](
+                             ros::SysIface& iface) -> int {
+        // ---- toolchain-inserted hooks run before the program's main ----
+        ros::Thread* self = kernel->current_thread();
+        assert(self != nullptr);
+        const Status up = rt->startup(*self, *fat);
+        if (!up.is_ok()) {
+          MV_ERROR("multiverse", "startup failed: " + up.to_string());
+          return 127;
+        }
+        // ---- incremental model: main() executes in the HRT ----
+        int exit_code = 0;
+        (void)iface;
+        const Status st = rt->hrt_invoke_func(
+            *self, [&exit_code, &guest_main](ros::SysIface& hrt_iface) {
+              exit_code = guest_main(hrt_iface);
+            });
+        if (!st.is_ok()) {
+          MV_ERROR("multiverse", "hrt_invoke_func failed: " + st.to_string());
+          return 126;
+        }
+        // ---- exit hook: HRT shutdown ----
+        (void)rt->shutdown();
+        return exit_code;
+      }));
+  MV_RETURN_IF_ERROR(linux_.run_all());
+  return collect(*proc, start_us, /*hybrid=*/true);
+}
+
+Result<ProgramResult> HybridSystem::run_accelerator(const std::string& name,
+                                                    AcceleratorMain main_fn) {
+  const std::uint64_t start_us = linux_.now_us();
+  MultiverseRuntime* rt = &runtime_;
+  ros::LinuxSim* kernel = &linux_;
+  const std::vector<std::uint8_t>* fat = &fat_binary_;
+
+  MV_ASSIGN_OR_RETURN(
+      ros::Process* const proc,
+      linux_.spawn(name, [rt, kernel, fat, main_fn = std::move(main_fn)](
+                             ros::SysIface& iface) -> int {
+        ros::Thread* self = kernel->current_thread();
+        assert(self != nullptr);
+        const Status up = rt->startup(*self, *fat);
+        if (!up.is_ok()) return 127;
+        const int code = main_fn(iface, *rt, *self);
+        (void)rt->shutdown();
+        return code;
+      }));
+  MV_RETURN_IF_ERROR(linux_.run_all());
+  return collect(*proc, start_us, /*hybrid=*/true);
+}
+
+}  // namespace mv::multiverse

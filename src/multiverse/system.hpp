@@ -1,0 +1,122 @@
+#pragma once
+
+// HybridSystem: one-stop construction of the full stack (machine -> VMM/HVM
+// -> ROS + AeroKernel -> Multiverse runtime) with the paper's three
+// measurement configurations:
+//
+//   run()         with virtualized=false  ->  "Native"  (bare metal Linux)
+//   run()         with virtualized=true   ->  "Virtual" (Linux as HVM guest)
+//   run_hybrid()                          ->  "Multiverse" (incremental HRT)
+//
+// The same guest program (a std::function over ros::SysIface) runs unmodified
+// in all three — which is the paper's entire point.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "aerokernel/nautilus.hpp"
+#include "multiverse/runtime.hpp"
+#include "multiverse/toolchain.hpp"
+#include "ros/linux.hpp"
+#include "support/result.hpp"
+#include "support/sched.hpp"
+#include "vmm/hvm.hpp"
+
+namespace mv::multiverse {
+
+struct SystemConfig {
+  unsigned sockets = 2;
+  unsigned cores_per_socket = 2;
+  std::uint64_t dram_bytes = 1ull << 30;      // 1 GiB guest, as the paper
+  std::uint64_t ros_mem_bytes = 1ull << 29;   // ROS partition
+  unsigned ros_core = 0;
+  unsigned hrt_core = 1;  // same socket by default; cross-socket for Fig 2
+  bool virtualized = true;
+  std::string extra_override_config;  // appended to the defaults at build
+  naut::Nautilus::Config naut_config;
+  // Execution-group structure (future-work variant switch).
+  GroupMode group_mode = GroupMode::kDedicatedPartner;
+};
+
+// Everything the paper's tables report about one program execution.
+struct ProgramResult {
+  int exit_code = 0;
+  bool killed = false;
+  int fatal_signal = 0;
+  std::string stdout_text;
+  std::string stderr_text;
+  std::uint64_t total_syscalls = 0;
+  std::map<std::string, std::uint64_t> syscall_histogram;
+  std::uint64_t vdso_calls = 0;
+  std::uint64_t max_rss_kb = 0;
+  std::uint64_t page_faults = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t ctx_switches = 0;
+  std::uint64_t signals_delivered = 0;
+  double utime_s = 0;
+  double stime_s = 0;
+  double elapsed_s = 0;
+  // Multiverse-specific:
+  std::uint64_t forwarded_syscalls = 0;
+  std::uint64_t forwarded_faults = 0;
+  std::uint64_t remerges = 0;
+};
+
+class HybridSystem {
+ public:
+  explicit HybridSystem(SystemConfig config);
+  HybridSystem() : HybridSystem(SystemConfig{}) {}
+
+  // Run a guest program in the ROS (Native or Virtual, per config).
+  Result<ProgramResult> run(const std::string& name,
+                            std::function<int(ros::SysIface&)> guest_main);
+
+  // Run the same program hybridized (incremental model): the toolchain-built
+  // fat binary's init hooks run before main, then main executes in the HRT.
+  Result<ProgramResult> run_hybrid(
+      const std::string& name,
+      std::function<int(ros::SysIface&)> guest_main);
+
+  // Accelerator-model entry: main runs in the ROS and gets the runtime to
+  // raise explicit HRT work (hrt_invoke_func / overridden pthreads).
+  using AcceleratorMain = std::function<int(
+      ros::SysIface& iface, MultiverseRuntime& runtime, ros::Thread& self)>;
+  Result<ProgramResult> run_accelerator(const std::string& name,
+                                        AcceleratorMain main_fn);
+
+  // --- component access for white-box tests & microbenches ----------------
+  [[nodiscard]] hw::Machine& machine() noexcept { return machine_; }
+  [[nodiscard]] Sched& sched() noexcept { return sched_; }
+  [[nodiscard]] vmm::Hvm& hvm() noexcept { return hvm_; }
+  [[nodiscard]] ros::LinuxSim& linux() noexcept { return linux_; }
+  [[nodiscard]] naut::Nautilus& naut() noexcept { return naut_; }
+  [[nodiscard]] MultiverseRuntime& runtime() noexcept { return runtime_; }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& fat_binary() const noexcept {
+    return fat_binary_;
+  }
+
+  // Manually drive startup on a process's main thread (white-box testing).
+  Status manual_startup(ros::Thread& main_thread) {
+    return runtime_.startup(main_thread, fat_binary_);
+  }
+
+ private:
+  ProgramResult collect(const ros::Process& proc, std::uint64_t start_us,
+                        bool hybrid);
+
+  SystemConfig config_;
+  hw::Machine machine_;
+  Sched sched_;
+  vmm::Hvm hvm_;
+  ros::LinuxSim linux_;
+  naut::Nautilus naut_;
+  MultiverseRuntime runtime_;
+  std::vector<std::uint8_t> fat_binary_;
+};
+
+}  // namespace mv::multiverse

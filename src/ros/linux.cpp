@@ -1,0 +1,500 @@
+#include "ros/linux.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace mv::ros {
+
+using hw::kPageSize;
+
+namespace {
+constexpr std::uint64_t kThreadStackSize = 256 * 1024;
+constexpr std::uint64_t kScratchSize = 64 * 1024;
+}  // namespace
+
+LinuxSim::LinuxSim(hw::Machine& machine, Sched& sched, Config config)
+    : machine_(&machine), sched_(&sched), config_(std::move(config)) {
+  auto zp = machine_->mem().alloc_frame(config_.numa_zone);
+  assert(zp.is_ok() && "cannot allocate zero page");
+  zero_page_ = *zp;
+  for (unsigned c : config_.cores) {
+    // Linux runs with write protection enforced in ring 0.
+    machine_->core(c).set_cr0_wp(true);
+  }
+  install_idt_handlers();
+}
+
+LinuxSim::~LinuxSim() = default;
+
+void LinuxSim::install_idt_handlers() {
+  for (unsigned c : config_.cores) {
+    machine_->core(c).set_idt_entry(
+        hw::kVecPageFault,
+        [this](hw::Core& core, const hw::InterruptFrame& frame) {
+          Thread* t = current_thread();
+          if (t == nullptr) {
+            MV_ERROR("linux", strfmt("stray #PF on core %u at %#llx",
+                                     core.id(),
+                                     static_cast<unsigned long long>(
+                                         frame.fault_addr)));
+            return;
+          }
+          (void)handle_fault(*t, frame.fault_addr, frame.error_code);
+        });
+  }
+}
+
+Thread* LinuxSim::current_thread() {
+  const auto it = task_threads_.find(sched_->current());
+  return it == task_threads_.end() ? nullptr : it->second;
+}
+
+std::uint64_t LinuxSim::now_us() {
+  // A global TSC-derived clock: the max over all cores, made monotonic.
+  Cycles max_cycles = 0;
+  for (unsigned c = 0; c < machine_->core_count(); ++c) {
+    max_cycles = std::max(max_cycles, machine_->core(c).cycles());
+  }
+  monotonic_us_ = std::max<std::uint64_t>(
+      monotonic_us_, static_cast<std::uint64_t>(cycles_to_us(max_cycles)));
+  return monotonic_us_;
+}
+
+Result<Process*> LinuxSim::spawn(std::string name,
+                                 std::function<int(SysIface&)> guest_main) {
+  auto proc = std::make_unique<Process>();
+  proc->pid = next_pid_++;
+  proc->name = std::move(name);
+  proc->as = std::make_unique<AddressSpace>(*machine_, config_.numa_zone,
+                                            zero_page_);
+  proc->as->set_coherency_domain(config_.cores);
+  // Map the per-process vvar page (read-only, user-visible) so the vdso
+  // fast paths have real kernel-exported data to read.
+  auto vvar = machine_->mem().alloc_frame(config_.numa_zone);
+  if (!vvar) return vvar.status();
+  proc->vvar_frame = *vvar;
+  MV_RETURN_IF_ERROR(machine_->paging().map_page(
+      proc->as->cr3(), kVvarVaddr, proc->vvar_frame,
+      hw::kPtePresent | hw::kPteUser | hw::kPteNx, config_.numa_zone));
+  refresh_vvar(*proc);
+
+  Process* raw = proc.get();
+  procs_.push_back(std::move(proc));
+  proc_ptrs_.push_back(raw);
+
+  // Main thread wraps guest_main; exit_group semantics via GuestExit.
+  auto thread = spawn_thread(
+      *raw,
+      [this, raw, guest_main = std::move(guest_main)](SysIface& iface) {
+        int code = 0;
+        try {
+          code = guest_main(iface);
+        } catch (const GuestExit& e) {
+          code = e.code;
+        }
+        raw->exited = true;
+        raw->exit_code = code;
+      },
+      raw->name + "/main");
+  if (!thread) return thread.status();
+  return raw;
+}
+
+Result<Thread*> LinuxSim::spawn_thread(Process& proc, GuestThreadFn fn,
+                                       std::string name) {
+  auto thread = std::make_unique<Thread>();
+  thread->tid = proc.next_tid++;
+  thread->proc = &proc;
+  thread->core = config_.cores[next_core_rr_++ % config_.cores.size()];
+  machine_->core(thread->core).charge(hw::costs().thread_spawn);
+
+  // Stack VMA (scratch staging buffer lives at its base, below the red zone
+  // reachable area).
+  MV_ASSIGN_OR_RETURN(
+      thread->stack_base,
+      proc.as->mmap(0, kThreadStackSize, kProtRead | kProtWrite,
+                    kMapPrivate | kMapAnonymous,
+                    strfmt("[stack:%d]", thread->tid)));
+  thread->stack_size = kThreadStackSize;
+  thread->scratch_base = thread->stack_base;
+  thread->scratch_size = kScratchSize;
+  thread->fs_base = thread->stack_base + kThreadStackSize - 0x1000;
+
+  Thread* raw = thread.get();
+  proc.threads.push_back(std::move(thread));
+
+  raw->task = sched_->spawn(
+      raw->core,
+      [this, raw, fn = std::move(fn)]() {
+        NativeCtx ctx(*this, *raw);
+        try {
+          fn(ctx);
+        } catch (const GuestExit&) {
+          // exit_group from a secondary thread: process already marked.
+        }
+        raw->exited = true;
+        for (const TaskId waiter : raw->join_waiters) {
+          sched_->unblock(waiter);
+        }
+        raw->join_waiters.clear();
+      },
+      std::move(name));
+  task_threads_[raw->task] = raw;
+  return raw;
+}
+
+Status LinuxSim::join_thread(Thread& joiner, int tid) {
+  Thread* target = joiner.proc->find_thread(tid);
+  if (target == nullptr) return err(Err::kInval, "join: no such thread");
+  while (!target->exited) {
+    target->join_waiters.push_back(joiner.task);
+    ++joiner.proc->nvcsw;
+    core_of(joiner).charge(hw::costs().ros_context_switch);
+    sched_->block();
+  }
+  return Status::ok();
+}
+
+Status LinuxSim::handle_fault(Thread& thread, std::uint64_t vaddr,
+                              std::uint32_t error_code) {
+  Process& proc = *thread.proc;
+  const auto outcome =
+      proc.as->handle_fault(thread.core, vaddr, error_code);
+  hw::Core& core = core_of(thread);
+  if (outcome.repaired) {
+    proc.stime_cycles += 600;
+    core.charge(600);  // fault service work
+    if (virtualized()) {
+      // Shadow/nested paging: first-touch faults exit to the VMM.
+      core.charge(hw::costs().vmexit + hw::costs().vmentry);
+    }
+    return Status::ok();
+  }
+  // Unrepairable: SIGSEGV.
+  return deliver_signal(thread, kSigSegv, vaddr);
+}
+
+Status LinuxSim::deliver_signal(Thread& thread, int sig,
+                                std::uint64_t fault_addr) {
+  Process& proc = *thread.proc;
+  SigEntry& entry = proc.sig.at(static_cast<std::size_t>(sig));
+  if (!entry.installed || !entry.handler) {
+    proc.killed_by_signal = true;
+    proc.fatal_signal = sig;
+    proc.exited = true;
+    MV_WARN("linux", strfmt("pid %d killed by signal %d (addr %#llx)",
+                            proc.pid, sig,
+                            static_cast<unsigned long long>(fault_addr)));
+    return err(Err::kFault, strfmt("fatal signal %d", sig));
+  }
+  ++proc.signals_delivered;
+  core_of(thread).charge(hw::costs().guest_signal_dispatch / 4);
+  // The handler runs as guest code with the thread's interface; on return the
+  // kernel accounts an rt_sigreturn, exactly as strace would show.
+  NativeCtx ctx(*this, thread);
+  entry.handler(sig, fault_addr, ctx);
+  ++proc.sys_counts[static_cast<std::size_t>(SysNr::kRtSigreturn)];
+  ++proc.total_syscalls;
+  core_of(thread).charge(400);
+  return Status::ok();
+}
+
+void LinuxSim::check_itimer(Thread& thread) {
+  Process& proc = *thread.proc;
+  if (proc.itimer_interval_us == 0) return;
+  const std::uint64_t now = now_us();
+  if (now < proc.itimer_deadline_us) return;
+  proc.itimer_deadline_us = now + proc.itimer_interval_us;
+  ++proc.nivcsw;  // the tick preempts the thread
+  (void)deliver_signal(thread, kSigAlrm, 0);
+}
+
+Result<std::uint64_t> LinuxSim::syscall_entry(
+    Thread& thread, SysNr nr, std::array<std::uint64_t, 6> args) {
+  hw::Core& core = core_of(thread);
+  ensure_address_space(thread);
+  core.charge(hw::costs().syscall_insn);
+  Process& proc = *thread.proc;
+  ++proc.sys_counts[static_cast<std::size_t>(nr)];
+  ++proc.total_syscalls;
+  const Cycles before = core.cycles();
+  auto result = do_syscall(thread, nr, args);
+  proc.stime_cycles += core.cycles() - before;
+  if (proc.syscall_trace_enabled) {
+    proc.syscall_trace.push_back(Process::SyscallEvent{
+        nr, thread.tid, /*forwarded=*/false, args, result.value_or(0),
+        result.code()});
+  }
+  core.charge(hw::costs().sysret_insn);
+  check_itimer(thread);
+  return result;
+}
+
+Result<std::uint64_t> LinuxSim::do_syscall(Thread& thread, SysNr nr,
+                                           std::array<std::uint64_t, 6> args) {
+  hw::Core& core = core_of(thread);
+  ensure_address_space(thread);
+  Process& proc = *thread.proc;
+  switch (nr) {
+    case SysNr::kRead: return sys_read(thread, args);
+    case SysNr::kWrite: return sys_write(thread, args);
+    case SysNr::kWritev: return sys_write(thread, args);
+    case SysNr::kOpen:
+    case SysNr::kOpenat: return sys_open(thread, args);
+    case SysNr::kClose: return sys_close(thread, args);
+    case SysNr::kStat:
+    case SysNr::kFstat: return sys_stat(thread, args);
+    case SysNr::kLseek: return sys_lseek(thread, args);
+    case SysNr::kPoll: {
+      core.charge(700);
+      return std::uint64_t{0};  // nothing ever pending on our fds
+    }
+    case SysNr::kMmap: return sys_mmap(thread, args);
+    case SysNr::kMprotect: return sys_mprotect(thread, args);
+    case SysNr::kMunmap: return sys_munmap(thread, args);
+    case SysNr::kBrk: return sys_brk(thread, args);
+    case SysNr::kRtSigaction: {
+      // Handler registration happens through SysIface::sigaction (the functor
+      // cannot travel through registers); this path just accounts the call.
+      core.charge(500);
+      return std::uint64_t{0};
+    }
+    case SysNr::kRtSigprocmask: {
+      core.charge(350);
+      return std::uint64_t{0};
+    }
+    case SysNr::kRtSigreturn: {
+      core.charge(400);
+      return std::uint64_t{0};
+    }
+    case SysNr::kSigaltstack: {
+      proc.altstack_base = args[0];
+      core.charge(400);
+      return std::uint64_t{0};
+    }
+    case SysNr::kIoctl: {
+      core.charge(600);
+      return std::uint64_t{0};
+    }
+    case SysNr::kSchedYield: {
+      core.charge(400);
+      ++proc.nvcsw;
+      sched_->yield();
+      return std::uint64_t{0};
+    }
+    case SysNr::kDup: {
+      MV_ASSIGN_OR_RETURN(const int fd,
+                          proc.fds.dup(static_cast<int>(args[0])));
+      core.charge(500);
+      return static_cast<std::uint64_t>(fd);
+    }
+    case SysNr::kNanosleep: {
+      core.charge(900);
+      ++proc.nvcsw;
+      // Virtual time: sleeping burns virtual cycles on this core.
+      core.charge(us_to_cycles(static_cast<double>(args[0])));
+      sched_->yield();
+      return std::uint64_t{0};
+    }
+    case SysNr::kGetitimer: {
+      core.charge(400);
+      return proc.itimer_interval_us;
+    }
+    case SysNr::kSetitimer: {
+      core.charge(600);
+      proc.itimer_interval_us = args[1];
+      proc.itimer_deadline_us = now_us() + args[1];
+      return std::uint64_t{0};
+    }
+    case SysNr::kGetpid: {
+      core.charge(250);
+      return static_cast<std::uint64_t>(proc.pid);
+    }
+    case SysNr::kClone: {
+      // Thread creation flows through SysIface::thread_create; raw clone is
+      // accounted there. Calling it here without an entry point is invalid.
+      return err(Err::kInval, "raw clone unsupported; use thread_create");
+    }
+    case SysNr::kFork:
+      return err(Err::kNoSys, "fork not modeled");
+    case SysNr::kExecve:
+      return err(Err::kNoSys, "execve not modeled");
+    case SysNr::kExit: {
+      core.charge(1200);
+      thread.exited = true;
+      return std::uint64_t{0};
+    }
+    case SysNr::kExitGroup: {
+      core.charge(2000);
+      proc.exited = true;
+      proc.exit_code = static_cast<int>(args[0]);
+      return std::uint64_t{0};
+    }
+    case SysNr::kGetcwd: return sys_getcwd(thread, args);
+    case SysNr::kChdir: {
+      std::string path;
+      MV_RETURN_IF_ERROR(copy_path_from_user(thread, args[0], &path).status());
+      if (!fs_.exists(proc.cwd, path)) return err(Err::kNoEnt, path);
+      proc.cwd = FileSystem::normalize(proc.cwd, path);
+      core.charge(900);
+      return std::uint64_t{0};
+    }
+    case SysNr::kMkdir: {
+      std::string path;
+      MV_RETURN_IF_ERROR(copy_path_from_user(thread, args[0], &path).status());
+      core.charge(1500);
+      MV_RETURN_IF_ERROR(fs_.mkdir(proc.cwd, path));
+      return std::uint64_t{0};
+    }
+    case SysNr::kUnlink: {
+      std::string path;
+      MV_RETURN_IF_ERROR(copy_path_from_user(thread, args[0], &path).status());
+      core.charge(1300);
+      MV_RETURN_IF_ERROR(fs_.unlink(proc.cwd, path));
+      return std::uint64_t{0};
+    }
+    case SysNr::kGettimeofday: return sys_gettimeofday(thread, args);
+    case SysNr::kClockGettime: return sys_gettimeofday(thread, args);
+    case SysNr::kGetrusage: return sys_getrusage(thread, args);
+    case SysNr::kFutex: return sys_futex(thread, args);
+    case SysNr::kTimerCreate: {
+      core.charge(800);
+      return std::uint64_t{1};
+    }
+    case SysNr::kTimerSettime: {
+      core.charge(700);
+      proc.itimer_interval_us = args[1];
+      proc.itimer_deadline_us = now_us() + args[1];
+      return std::uint64_t{0};
+    }
+    case SysNr::kCount_: break;
+  }
+  return err(Err::kNoSys, strfmt("syscall %u", static_cast<unsigned>(nr)));
+}
+
+// ---------------------------------------------------------------------------
+// NativeCtx
+// ---------------------------------------------------------------------------
+
+Result<std::uint64_t> NativeCtx::syscall(SysNr nr,
+                                         std::array<std::uint64_t, 6> args) {
+  return k_->syscall_entry(*t_, nr, args);
+}
+
+Status NativeCtx::mem_read(std::uint64_t vaddr, void* out, std::uint64_t len) {
+  hw::Core& core = k_->core_of(*t_);
+  k_->ensure_address_space(*t_);
+  const int saved = core.cpl();
+  core.set_cpl(3);
+  const Status s = core.mem_read(vaddr, out, len);
+  core.set_cpl(saved);
+  return s;
+}
+
+Status NativeCtx::mem_write(std::uint64_t vaddr, const void* in,
+                            std::uint64_t len) {
+  hw::Core& core = k_->core_of(*t_);
+  k_->ensure_address_space(*t_);
+  const int saved = core.cpl();
+  core.set_cpl(3);
+  const Status s = core.mem_write(vaddr, in, len);
+  core.set_cpl(saved);
+  return s;
+}
+
+Status NativeCtx::mem_touch(std::uint64_t vaddr, hw::Access access) {
+  hw::Core& core = k_->core_of(*t_);
+  k_->ensure_address_space(*t_);
+  const int saved = core.cpl();
+  core.set_cpl(3);
+  const Status s = core.mem_touch(vaddr, access);
+  core.set_cpl(saved);
+  return s;
+}
+
+void LinuxSim::refresh_vvar(Process& proc) {
+  const std::uint64_t us = now_us();
+  (void)machine_->mem().write_u64(proc.vvar_frame + VvarLayout::kOffSec,
+                                  us / 1000000);
+  (void)machine_->mem().write_u64(proc.vvar_frame + VvarLayout::kOffUsec,
+                                  us % 1000000);
+  (void)machine_->mem().write_u64(proc.vvar_frame + VvarLayout::kOffPid,
+                                  static_cast<std::uint64_t>(proc.pid));
+}
+
+TimeVal NativeCtx::vdso_gettimeofday() {
+  // vdso: a user-mode read of the vvar page, no kernel entry.
+  ++t_->proc->vdso_gtod_calls;
+  k_->refresh_vvar(*t_->proc);
+  hw::Core& core = k_->core_of(*t_);
+  k_->ensure_address_space(*t_);
+  core.charge(hw::costs().mem_access * 4 + 36);  // vdso code on a warm cache
+  std::uint64_t sec = 0;
+  std::uint64_t usec = 0;
+  const int saved = core.cpl();
+  core.set_cpl(3);
+  (void)core.mem_read(kVvarVaddr + VvarLayout::kOffSec, &sec, sizeof(sec));
+  (void)core.mem_read(kVvarVaddr + VvarLayout::kOffUsec, &usec, sizeof(usec));
+  core.set_cpl(saved);
+  return TimeVal{sec, usec};
+}
+
+std::uint64_t NativeCtx::vdso_getpid() {
+  ++t_->proc->vdso_getpid_calls;
+  hw::Core& core = k_->core_of(*t_);
+  k_->ensure_address_space(*t_);
+  core.charge(hw::costs().mem_access * 2 + 18);
+  std::uint64_t pid = 0;
+  const int saved = core.cpl();
+  core.set_cpl(3);
+  (void)core.mem_read(kVvarVaddr + VvarLayout::kOffPid, &pid, sizeof(pid));
+  core.set_cpl(saved);
+  return pid;
+}
+
+Result<int> NativeCtx::thread_create(GuestThreadFn fn) {
+  Process& proc = *t_->proc;
+  ++proc.sys_counts[static_cast<std::size_t>(SysNr::kClone)];
+  ++proc.total_syscalls;
+  MV_ASSIGN_OR_RETURN(
+      Thread* const thread,
+      k_->spawn_thread(proc, std::move(fn),
+                       strfmt("%s/t%d", proc.name.c_str(), proc.next_tid)));
+  return thread->tid;
+}
+
+Status NativeCtx::thread_join(int tid) {
+  // pthread_join over futex, as glibc implements it.
+  ++t_->proc->sys_counts[static_cast<std::size_t>(SysNr::kFutex)];
+  ++t_->proc->total_syscalls;
+  return k_->join_thread(*t_, tid);
+}
+
+void NativeCtx::thread_yield() {
+  (void)syscall(SysNr::kSchedYield, {0, 0, 0, 0, 0, 0});
+}
+
+Status NativeCtx::sigaction(int sig, GuestSigHandler handler) {
+  Process& proc = *t_->proc;
+  ++proc.sys_counts[static_cast<std::size_t>(SysNr::kRtSigaction)];
+  ++proc.total_syscalls;
+  k_->core_of(*t_).charge(500 + hw::costs().syscall_insn);
+  if (sig < 0 || sig >= kNumSignals) return err(Err::kInval, "bad signal");
+  proc.sig[static_cast<std::size_t>(sig)] =
+      SigEntry{std::move(handler), true, false};
+  return Status::ok();
+}
+
+void NativeCtx::charge_user(std::uint64_t cycles) {
+  k_->core_of(*t_).charge(cycles);
+  t_->proc->utime_cycles += cycles;
+}
+
+SysIface::Mode NativeCtx::mode() const {
+  return k_->virtualized() ? Mode::kVirtual : Mode::kNative;
+}
+
+}  // namespace mv::ros

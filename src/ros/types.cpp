@@ -1,0 +1,52 @@
+#include "ros/types.hpp"
+
+namespace mv::ros {
+
+const char* sysnr_name(SysNr nr) noexcept {
+  switch (nr) {
+    case SysNr::kRead: return "read";
+    case SysNr::kWrite: return "write";
+    case SysNr::kOpen: return "open";
+    case SysNr::kClose: return "close";
+    case SysNr::kStat: return "stat";
+    case SysNr::kFstat: return "fstat";
+    case SysNr::kPoll: return "poll";
+    case SysNr::kLseek: return "lseek";
+    case SysNr::kMmap: return "mmap";
+    case SysNr::kMprotect: return "mprotect";
+    case SysNr::kMunmap: return "munmap";
+    case SysNr::kBrk: return "brk";
+    case SysNr::kRtSigaction: return "rt_sigaction";
+    case SysNr::kRtSigprocmask: return "rt_sigprocmask";
+    case SysNr::kRtSigreturn: return "rt_sigreturn";
+    case SysNr::kIoctl: return "ioctl";
+    case SysNr::kWritev: return "writev";
+    case SysNr::kSchedYield: return "sched_yield";
+    case SysNr::kDup: return "dup";
+    case SysNr::kNanosleep: return "nanosleep";
+    case SysNr::kGetitimer: return "getitimer";
+    case SysNr::kSetitimer: return "setitimer";
+    case SysNr::kGetpid: return "getpid";
+    case SysNr::kClone: return "clone";
+    case SysNr::kFork: return "fork";
+    case SysNr::kExecve: return "execve";
+    case SysNr::kExit: return "exit";
+    case SysNr::kGetcwd: return "getcwd";
+    case SysNr::kChdir: return "chdir";
+    case SysNr::kMkdir: return "mkdir";
+    case SysNr::kUnlink: return "unlink";
+    case SysNr::kGettimeofday: return "gettimeofday";
+    case SysNr::kGetrusage: return "getrusage";
+    case SysNr::kSigaltstack: return "sigaltstack";
+    case SysNr::kFutex: return "futex";
+    case SysNr::kTimerCreate: return "timer_create";
+    case SysNr::kTimerSettime: return "timer_settime";
+    case SysNr::kClockGettime: return "clock_gettime";
+    case SysNr::kExitGroup: return "exit_group";
+    case SysNr::kOpenat: return "openat";
+    case SysNr::kCount_: break;
+  }
+  return "?";
+}
+
+}  // namespace mv::ros

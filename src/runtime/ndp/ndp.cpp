@@ -1,0 +1,326 @@
+#include "runtime/ndp/ndp.hpp"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "runtime/vcode/vcode.hpp"
+#include "support/strings.hpp"
+
+namespace mv::ndp {
+namespace {
+
+// --- lexer -------------------------------------------------------------------
+
+struct Token {
+  enum class Kind {
+    kNumber,
+    kName,
+    kKeyword,  // let print in
+    kSymbol,   // + - * / < > == ( ) { } : | , =
+    kEof,
+  };
+  Kind kind = Kind::kEof;
+  std::string text;
+  int line = 1;
+};
+
+Result<std::vector<Token>> lex(const std::string& src) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t start = i;
+      while (i < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[i])) ||
+              src[i] == '.')) {
+        ++i;
+      }
+      tok.kind = Token::Kind::kNumber;
+      tok.text = src.substr(start, i - start);
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) ||
+              src[i] == '_')) {
+        ++i;
+      }
+      tok.text = src.substr(start, i - start);
+      tok.kind = (tok.text == "let" || tok.text == "print" ||
+                  tok.text == "in")
+                     ? Token::Kind::kKeyword
+                     : Token::Kind::kName;
+    } else if (c == '=' && i + 1 < src.size() && src[i + 1] == '=') {
+      tok.kind = Token::Kind::kSymbol;
+      tok.text = "==";
+      i += 2;
+    } else if (std::string("+-*/<>(){}:|,=").find(c) != std::string::npos) {
+      tok.kind = Token::Kind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return err(Err::kParse,
+                 strfmt("line %d: unexpected character '%c'", line, c));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  tokens.push_back(Token{Token::Kind::kEof, "", line});
+  return tokens;
+}
+
+// --- compiler -------------------------------------------------------------------
+
+// Emits VCODE while tracking the virtual stack depth so let-bound names and
+// comprehension variables resolve to PICK offsets.
+class Compiler {
+ public:
+  explicit Compiler(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::string> compile() {
+    while (!at(Token::Kind::kEof)) {
+      MV_RETURN_IF_ERROR(statement());
+    }
+    // Release let bindings left on the stack.
+    for (std::size_t i = 0; i < scopes_.size(); ++i) emit("POP");
+    return out_;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  bool at(Token::Kind kind) const { return peek().kind == kind; }
+  bool at_symbol(const char* s) const {
+    return peek().kind == Token::Kind::kSymbol && peek().text == s;
+  }
+  bool at_keyword(const char* s) const {
+    return peek().kind == Token::Kind::kKeyword && peek().text == s;
+  }
+  Token take() { return tokens_[pos_++]; }
+  Status expect_symbol(const char* s) {
+    if (!at_symbol(s)) {
+      return err(Err::kParse, strfmt("line %d: expected '%s', got '%s'",
+                                     peek().line, s, peek().text.c_str()));
+    }
+    ++pos_;
+    return Status::ok();
+  }
+
+  void emit(const std::string& insn) {
+    out_ += insn;
+    out_ += '\n';
+  }
+
+  Status statement() {
+    if (at_keyword("let")) {
+      ++pos_;
+      if (!at(Token::Kind::kName)) {
+        return err(Err::kParse,
+                   strfmt("line %d: expected a name after let", peek().line));
+      }
+      const std::string name = take().text;
+      MV_RETURN_IF_ERROR(expect_symbol("="));
+      MV_RETURN_IF_ERROR(expression());
+      // The value stays on the stack; record its slot.
+      scopes_.emplace_back(name, depth_ - 1);
+      return Status::ok();
+    }
+    if (at_keyword("print")) {
+      ++pos_;
+      MV_RETURN_IF_ERROR(expression());
+      emit("PRINT");
+      --depth_;
+      return Status::ok();
+    }
+    return err(Err::kParse, strfmt("line %d: expected let or print, got '%s'",
+                                   peek().line, peek().text.c_str()));
+  }
+
+  Status expression() {
+    MV_RETURN_IF_ERROR(sum());
+    if (at_symbol("<") || at_symbol(">") || at_symbol("==")) {
+      const std::string op = take().text;
+      MV_RETURN_IF_ERROR(sum());
+      emit(op == "<" ? "LT" : op == ">" ? "GT" : "EQ");
+      --depth_;
+    }
+    return Status::ok();
+  }
+
+  Status sum() {
+    MV_RETURN_IF_ERROR(product());
+    while (at_symbol("+") || at_symbol("-")) {
+      const std::string op = take().text;
+      MV_RETURN_IF_ERROR(product());
+      emit(op == "+" ? "ADD" : "SUB");
+      --depth_;
+    }
+    return Status::ok();
+  }
+
+  Status product() {
+    MV_RETURN_IF_ERROR(atom());
+    while (at_symbol("*") || at_symbol("/")) {
+      const std::string op = take().text;
+      MV_RETURN_IF_ERROR(atom());
+      emit(op == "*" ? "MUL" : "DIV");
+      --depth_;
+    }
+    return Status::ok();
+  }
+
+  Status unary_builtin(const std::string& name) {
+    MV_RETURN_IF_ERROR(expect_symbol("("));
+    MV_RETURN_IF_ERROR(expression());
+    MV_RETURN_IF_ERROR(expect_symbol(")"));
+    if (name == "iota") emit("IOTA");
+    else if (name == "sum") emit("REDUCE +");
+    else if (name == "product") emit("REDUCE *");
+    else if (name == "maxv") emit("REDUCE max");
+    else if (name == "minv") emit("REDUCE min");
+    else if (name == "scan") emit("SCAN +");
+    else emit("LENGTH");  // length
+    return Status::ok();
+  }
+
+  Status atom() {
+    if (at(Token::Kind::kNumber)) {
+      emit("CONST " + take().text);
+      ++depth_;
+      return Status::ok();
+    }
+    if (at_symbol("(")) {
+      ++pos_;
+      MV_RETURN_IF_ERROR(expression());
+      return expect_symbol(")");
+    }
+    if (at_symbol("{")) return comprehension();
+    if (at(Token::Kind::kName)) {
+      const Token tok = take();
+      const std::string& name = tok.text;
+      if (name == "iota" || name == "sum" || name == "product" ||
+          name == "maxv" || name == "minv" || name == "scan" ||
+          name == "length") {
+        // The argument expression pushes one value; the builtin replaces it,
+        // so the net depth change is already accounted for.
+        return unary_builtin(name);
+      }
+      if (name == "dist") {
+        MV_RETURN_IF_ERROR(expect_symbol("("));
+        MV_RETURN_IF_ERROR(expression());
+        MV_RETURN_IF_ERROR(expect_symbol(","));
+        MV_RETURN_IF_ERROR(expression());
+        MV_RETURN_IF_ERROR(expect_symbol(")"));
+        emit("DIST");
+        --depth_;
+        return Status::ok();
+      }
+      // Variable reference.
+      for (std::size_t i = scopes_.size(); i-- > 0;) {
+        if (scopes_[i].first == name) {
+          emit(strfmt("PICK %zu", depth_ - 1 - scopes_[i].second));
+          ++depth_;
+          return Status::ok();
+        }
+      }
+      return err(Err::kParse, strfmt("line %d: unbound variable '%s'",
+                                     tok.line, name.c_str()));
+    }
+    return err(Err::kParse, strfmt("line %d: unexpected '%s'", peek().line,
+                                   peek().text.c_str()));
+  }
+
+  // { body : x in seq | cond }  — apply-to-each, optional filter.
+  Status comprehension() {
+    MV_RETURN_IF_ERROR(expect_symbol("{"));
+    // Parse the body lazily: we need `seq` on the stack before compiling the
+    // body, so remember the token range and re-walk it afterwards.
+    const std::size_t body_start = pos_;
+    int braces = 0;
+    while (!(braces == 0 && at_symbol(":"))) {
+      if (at(Token::Kind::kEof)) {
+        return err(Err::kParse, "unterminated comprehension");
+      }
+      if (at_symbol("{")) ++braces;
+      if (at_symbol("}")) --braces;
+      ++pos_;
+    }
+    const std::size_t body_end = pos_;
+    ++pos_;  // ':'
+    if (!at(Token::Kind::kName)) {
+      return err(Err::kParse,
+                 strfmt("line %d: expected a binder name", peek().line));
+    }
+    const std::string binder = take().text;
+    if (!at_keyword("in")) {
+      return err(Err::kParse, strfmt("line %d: expected 'in'", peek().line));
+    }
+    ++pos_;
+    MV_RETURN_IF_ERROR(expression());  // seq on the stack
+    scopes_.emplace_back(binder, depth_ - 1);
+
+    // Compile the body with the binder in scope.
+    const std::size_t resume = pos_;
+    pos_ = body_start;
+    MV_RETURN_IF_ERROR(expression());
+    if (pos_ != body_end) {
+      return err(Err::kParse, strfmt("line %d: malformed comprehension body",
+                                     peek().line));
+    }
+    pos_ = resume;
+
+    // Optional filter.
+    if (at_symbol("|")) {
+      ++pos_;
+      MV_RETURN_IF_ERROR(expression());  // flags on top of body result
+      emit("PACK");
+      --depth_;
+    }
+    MV_RETURN_IF_ERROR(expect_symbol("}"));
+    // Drop the binder's sequence (beneath the result).
+    emit("SWAP");
+    emit("POP");
+    --depth_;
+    scopes_.pop_back();
+    return Status::ok();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::string out_;
+  std::size_t depth_ = 0;
+  std::vector<std::pair<std::string, std::size_t>> scopes_;
+};
+
+}  // namespace
+
+Result<std::string> compile(const std::string& source) {
+  MV_ASSIGN_OR_RETURN(std::vector<Token> tokens, lex(source));
+  Compiler compiler(std::move(tokens));
+  return compiler.compile();
+}
+
+Status compile_and_run(ros::SysIface& sys, const std::string& source) {
+  MV_ASSIGN_OR_RETURN(const std::string program, compile(source));
+  vcode::Vm vm(sys);
+  return vm.run(program);
+}
+
+}  // namespace mv::ndp

@@ -1,0 +1,40 @@
+#pragma once
+
+// "Rill": a small home-grown data-parallel language that compiles to VCODE —
+// the third of the paper's hand-ported runtimes ("the runtime of a
+// home-grown nested data parallel language"). Rill is flat rather than
+// nested (our VCODE carries no segment descriptors), but the pipeline is the
+// real thing: source -> compiler -> VCODE instruction stream -> vector VM,
+// all executing over the guest OS interface and therefore hybridizable.
+//
+// Syntax:
+//   program  := { "let" NAME "=" expr | "print" expr }
+//   expr     := sum ( ("<" | ">" | "==") sum )?
+//   sum      := product { ("+" | "-") product }
+//   product  := atom { ("*" | "/") atom }
+//   atom     := NUMBER | NAME | "(" expr ")"
+//             | "iota" "(" expr ")"        ; [0..n)
+//             | "dist" "(" expr "," expr ")" ; n copies of v
+//             | "sum" "(" expr ")" | "product" "(" expr ")"
+//             | "maxv" "(" expr ")" | "minv" "(" expr ")"
+//             | "scan" "(" expr ")"        ; exclusive +-scan
+//             | "length" "(" expr ")"
+//             | "{" expr ":" NAME "in" expr [ "|" expr ] "}"   ; apply-to-each
+//
+// Comprehension bodies evaluate elementwise over the bound sequence (the
+// classic NESL apply-to-each, flattened).
+
+#include <string>
+
+#include "ros/guest.hpp"
+#include "support/result.hpp"
+
+namespace mv::ndp {
+
+// Compile Rill source to a VCODE program.
+Result<std::string> compile(const std::string& source);
+
+// Compile and execute; PRINT output goes to guest stdout.
+Status compile_and_run(ros::SysIface& sys, const std::string& source);
+
+}  // namespace mv::ndp

@@ -1,0 +1,168 @@
+#pragma once
+
+// The Vessel Scheme engine: the paper's Racket stand-in. A complete
+// interpreter (reader, evaluator with proper tail calls, numeric/string/
+// vector/list builtins) embedded into a C program exactly the way the
+// paper's port embeds the Racket engine: construct with a SysIface, call
+// init(), then eval strings / load files / run the REPL. Because every OS
+// interaction goes through SysIface, the engine runs unmodified in Native,
+// Virtual, and Multiverse (HRT) configurations.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ros/guest.hpp"
+#include "runtime/scheme/gc.hpp"
+#include "runtime/scheme/reader.hpp"
+#include "runtime/scheme/value.hpp"
+#include "support/result.hpp"
+
+namespace mv::scheme {
+
+class Engine {
+ public:
+  struct Config {
+    Heap::Config heap;
+    // Guest compute charged per evaluator step (batched).
+    std::uint64_t eval_cycles = 150;
+    // The runtime's cooperative scheduler tick: every N evaluator steps the
+    // engine polls for events and checks timers (Racket's thread scheduler
+    // does the same; this produces Fig 12's poll/getrusage/timer traffic).
+    std::uint64_t tick_every_evals = 32768;
+    std::uint64_t timer_us = 20000;  // itimer period (SIGALRM cadence)
+    bool install_timer = true;
+    bool load_boot_files = true;  // stat/open/read/close the collection tree
+  };
+
+  Engine(ros::SysIface& sys, Config config);
+  explicit Engine(ros::SysIface& sys) : Engine(sys, Config{}) {}
+
+  // Engine bring-up: GC arena + barrier handler, SIGALRM + itimer, boot
+  // file loading, prelude evaluation.
+  Status init();
+
+  // --- evaluation --------------------------------------------------------
+  Result<Value> eval(Value expr, Cell* env);
+  // Non-tail application (used by apply/map and embedding code).
+  Result<Value> apply_value(Value fn, std::vector<Value>& args);
+  // Evaluate all forms; returns the last result.
+  Result<Value> eval_string(const std::string& src);
+  // Convenience for tests: evaluate and render with display semantics.
+  Result<std::string> eval_to_string(const std::string& src);
+  Status load_path(const std::string& path);
+
+  // Interactive REPL over guest stdin/stdout; returns the exit code.
+  int repl();
+
+  // --- symbols --------------------------------------------------------------
+  SymId intern(const std::string& name);
+  [[nodiscard]] const std::string& sym_name(SymId id) const {
+    return sym_names_.at(id);
+  }
+
+  // --- allocation helpers ------------------------------------------------------
+  Result<Value> cons(Value car, Value cdr);
+  Result<Value> make_string(std::string s);
+  Result<Value> make_vector(std::size_t n, Value fill);
+  Result<Value> make_builtin(std::string name, BuiltinFn fn);
+  Result<Cell*> make_env(Cell* parent);
+  // Build a Scheme list from a host vector (reverse-safe, rooted).
+  Result<Value> make_list(const std::vector<Value>& items);
+
+  // --- environments ---------------------------------------------------------------
+  Status env_define(Cell* env, SymId sym, Value v);
+  Status env_set(Cell* env, SymId sym, Value v);
+  Result<Value> env_lookup(Cell* env, SymId sym);
+  void define_global(const std::string& name, Value v);
+  void define_builtin(const std::string& name, BuiltinFn fn);
+
+  // --- printing --------------------------------------------------------------------
+  [[nodiscard]] std::string to_display(const Value& v) const;
+  [[nodiscard]] std::string to_write(const Value& v) const;
+
+  // --- buffered guest output ----------------------------------------------------------
+  Status out(const std::string& text);
+  Status flush();
+
+  // --- interpreter threads ---------------------------------------------------
+  // (spawn-thread thunk) creates a runtime thread through the guest pthread
+  // layer — in native mode a Linux clone; hybridized, a nested AeroKernel
+  // thread ("legacy threading functionality automatically maps to the
+  // corresponding AeroKernel functionality", Sec 3.3). Each interpreter
+  // thread runs with its own SysIface; sys() returns the current fiber's.
+  class ThreadIfaceScope {
+   public:
+    ThreadIfaceScope(Engine& engine, ros::SysIface& iface);
+    ~ThreadIfaceScope();
+    ThreadIfaceScope(const ThreadIfaceScope&) = delete;
+    ThreadIfaceScope& operator=(const ThreadIfaceScope&) = delete;
+
+   private:
+    Engine* engine_;
+  };
+
+  // Start `thunk` (a zero-argument procedure) on a new runtime thread;
+  // returns the guest tid. The thunk stays GC-rooted until the thread ends.
+  Result<int> spawn_interpreter_thread(Value thunk);
+
+  // --- accessors -----------------------------------------------------------------------
+  [[nodiscard]] Heap& heap() noexcept { return heap_; }
+  [[nodiscard]] ros::SysIface& sys();
+  [[nodiscard]] std::uint64_t eval_steps() const noexcept { return evals_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] Cell* globals_env() noexcept { return global_env_; }
+
+ private:
+  friend class Reader;
+
+  void register_builtins();           // builtins.cpp
+  Status load_boot_collection();      // the startup syscall profile
+  Status eval_prelude();
+  void tick();                        // scheduler tick (poll/getrusage)
+  void count_step();
+
+  // Evaluator internals (eval.cpp).
+  Result<Value> eval_quasiquote(Value tmpl, Cell* env, int depth);
+  Result<Value> eval_args(Value list, Cell* env, std::vector<Value>* out);
+  Result<Value> apply_closure_env(Cell* closure, std::vector<Value>& args,
+                                  Cell** env_out);
+  Result<Value> eval_body_tail(Value body, Cell* env, Value* tail_expr,
+                               Cell** tail_env);
+
+  ros::SysIface* sys_;
+  Config config_;
+  Heap heap_;
+  Reader reader_{*this};
+  std::unordered_map<std::string, SymId> sym_ids_;
+  std::vector<std::string> sym_names_;
+  std::unordered_map<SymId, Value> globals_;
+  // Per-fiber SysIface bindings for interpreter threads.
+  std::vector<std::pair<const Fiber*, ros::SysIface*>> thread_ifaces_;
+  // Thunks of live interpreter threads (GC roots until the thread finishes).
+  std::unordered_map<int, Value> thread_thunks_;
+  int next_thunk_id_ = 1;
+  Cell* global_env_ = nullptr;  // an env cell chaining to the global table
+  std::string out_buf_;
+  std::uint64_t evals_ = 0;
+  std::uint64_t pending_charge_ = 0;
+  std::uint64_t next_tick_ = 0;
+  std::uint64_t ticks_ = 0;
+  bool initialized_ = false;
+
+  // Cached special-form symbols.
+  SymId s_quote_, s_if_, s_define_, s_set_, s_lambda_, s_begin_, s_let_,
+      s_let_star_, s_letrec_, s_cond_, s_case_, s_else_, s_and_, s_or_,
+      s_when_, s_unless_, s_do_, s_named_lambda_, s_quasiquote_, s_unquote_,
+      s_arrow_;
+};
+
+// Public helper: the "Racket port" main — an engine embedded in a C program
+// (the paper: "an instance of the Racket engine embedded into a simple C
+// program ... launches a pthread that in turn starts the engine"), runnable
+// as REPL (no args) or batch (program text).
+int vessel_main(ros::SysIface& sys, const std::string& batch_source,
+                bool use_launcher_thread = true);
+
+}  // namespace mv::scheme

@@ -1,0 +1,251 @@
+#include "runtime/scheme/gc.hpp"
+
+#include "hw/phys_mem.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace mv::scheme {
+
+using hw::kPageSize;
+
+namespace {
+// The heap needs its own view of the SIGSEGV handler so nested uses (the
+// engine installs exactly one heap) can find the right Heap. A single
+// process-wide heap pointer suffices for the simulator.
+thread_local Heap* g_active_heap = nullptr;
+}  // namespace
+
+Heap::Heap(ros::SysIface& sys, Config config) : sys_(&sys), config_(config) {}
+
+std::vector<Value>& Heap::current_stack() {
+  const Fiber* fiber = Fiber::current();
+  if (current_stack_hint_ < root_stacks_.size() &&
+      root_stacks_[current_stack_hint_].first == fiber) {
+    return root_stacks_[current_stack_hint_].second;
+  }
+  for (std::size_t i = 0; i < root_stacks_.size(); ++i) {
+    if (root_stacks_[i].first == fiber) {
+      current_stack_hint_ = i;
+      return root_stacks_[i].second;
+    }
+  }
+  root_stacks_.emplace_back(fiber, std::vector<Value>{});
+  current_stack_hint_ = root_stacks_.size() - 1;
+  return root_stacks_.back().second;
+}
+
+Status Heap::init() {
+  if (initialized_) return Status::ok();
+  g_active_heap = this;
+  // rt_sigaction: the barrier handler. On a write fault inside a protected
+  // chunk the handler unprotects that chunk and records it dirty.
+  barrier_handler_ = [](int, std::uint64_t fault_addr, ros::SysIface& hsys) {
+    Heap* heap = g_active_heap;
+    if (heap == nullptr) return;
+    for (auto& chunk : heap->chunks_) {
+      if (fault_addr >= chunk->guest_base &&
+          fault_addr < chunk->guest_base + heap->config_.chunk_bytes) {
+        (void)hsys.mprotect(chunk->guest_base, heap->config_.chunk_bytes,
+                            ros::kProtRead | ros::kProtWrite);
+        chunk->protected_ = false;
+        ++heap->stats_.barrier_hits;
+        return;
+      }
+    }
+    // Not a heap address: genuine crash — re-raise by leaving the mapping
+    // untouched (the retried access will fail again).
+  };
+  MV_RETURN_IF_ERROR(sys().sigaction(ros::kSigSegv, barrier_handler_));
+  // Premap an initial arena then release part of it after the boot-time
+  // sizing pass, as real runtimes do at startup (the mmap/munmap storm that
+  // dominates Fig 11).
+  for (int i = 0; i < config_.startup_chunks; ++i) {
+    MV_RETURN_IF_ERROR(map_chunk());
+  }
+  for (int i = 0; i < config_.startup_trim && !chunks_.empty(); ++i) {
+    unmap_chunk(chunks_.size() - 1);
+  }
+  initialized_ = true;
+  return Status::ok();
+}
+
+Status Heap::map_chunk() {
+  auto base = sys().mmap(0, config_.chunk_bytes,
+                         ros::kProtRead | ros::kProtWrite,
+                         ros::kMapPrivate | ros::kMapAnonymous);
+  if (!base) return base.status();
+  auto chunk = std::make_unique<Chunk>();
+  chunk->guest_base = *base;
+  const std::uint64_t n = cells_per_chunk();
+  chunk->cells.reserve(n);
+  chunk->free_list.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto cell = std::make_unique<Cell>();
+    cell->guest_addr = *base + i * config_.cell_bytes;
+    chunk->free_list.push_back(cell.get());
+    chunk->cells.push_back(std::move(cell));
+  }
+  chunks_.push_back(std::move(chunk));
+  ++stats_.chunks_mapped;
+  return Status::ok();
+}
+
+void Heap::unmap_chunk(std::size_t index) {
+  Chunk& chunk = *chunks_[index];
+  (void)sys().munmap(chunk.guest_base, config_.chunk_bytes);
+  ++stats_.chunks_unmapped;
+  chunks_.erase(chunks_.begin() + static_cast<long>(index));
+}
+
+Heap::Chunk* Heap::chunk_of(const Cell* cell) {
+  for (auto& chunk : chunks_) {
+    if (cell->guest_addr >= chunk->guest_base &&
+        cell->guest_addr < chunk->guest_base + config_.chunk_bytes) {
+      return chunk.get();
+    }
+  }
+  return nullptr;
+}
+
+Result<Cell*> Heap::alloc(Cell::Type type) {
+  if (!initialized_) MV_RETURN_IF_ERROR(init());
+  if (since_gc_ >= config_.gc_allocation_trigger && !in_gc_) {
+    collect();
+  }
+  // Allocate from an unprotected chunk (the nursery): protected chunks hold
+  // old-space survivors and are only written through the barrier.
+  Chunk* target = nullptr;
+  for (auto& chunk : chunks_) {
+    if (!chunk->free_list.empty() && !chunk->protected_) {
+      target = chunk.get();
+      break;
+    }
+  }
+  if (target == nullptr) {
+    MV_RETURN_IF_ERROR(map_chunk());
+    target = chunks_.back().get();
+  }
+  Cell* cell = target->free_list.back();
+  target->free_list.pop_back();
+  cell->reset();
+  cell->type = type;
+  ++target->live;
+  ++since_gc_;
+  ++stats_.cells_allocated;
+  ++stats_.live_cells;
+
+  // First touch of each page in the chunk demand-faults, exactly like a real
+  // allocator walking a fresh arena.
+  const std::uint64_t page_index =
+      (cell->guest_addr - target->guest_base) / kPageSize;
+  if ((target->touched_pages & (1ull << page_index)) == 0) {
+    target->touched_pages |= 1ull << page_index;
+    (void)sys().mem_touch(cell->guest_addr, hw::Access::kWrite);
+  }
+  return cell;
+}
+
+void Heap::write_barrier(Cell* cell) {
+  Chunk* chunk = chunk_of(cell);
+  if (chunk == nullptr || !chunk->protected_) return;
+  // The mutation's store hits the read-only page: SIGSEGV -> handler
+  // unprotects the chunk -> retry succeeds.
+  (void)sys().mem_touch(cell->guest_addr, hw::Access::kWrite);
+}
+
+void Heap::mark(Value v) {
+  if (v.is_cell() && v.cell != nullptr) mark_cell(v.cell);
+}
+
+void Heap::mark_cell(Cell* cell) {
+  // Iterative DFS: benchmark structures (binary trees) are deep.
+  std::vector<Cell*> stack{cell};
+  while (!stack.empty()) {
+    Cell* c = stack.back();
+    stack.pop_back();
+    if (c == nullptr || c->marked) continue;
+    c->marked = true;
+    auto push_value = [&stack](const Value& v) {
+      if (v.is_cell() && v.cell != nullptr && !v.cell->marked) {
+        stack.push_back(v.cell);
+      }
+    };
+    push_value(c->car);
+    push_value(c->cdr);
+    push_value(c->body);
+    for (const Value& v : c->vec) push_value(v);
+    for (const auto& [sym, v] : c->bindings) push_value(v);
+    if (c->closure_env != nullptr && !c->closure_env->marked) {
+      stack.push_back(c->closure_env);
+    }
+    if (c->parent_env != nullptr && !c->parent_env->marked) {
+      stack.push_back(c->parent_env);
+    }
+  }
+}
+
+void Heap::collect() {
+  in_gc_ = true;
+  ++stats_.collections;
+  since_gc_ = 0;
+
+  // Mark. Every fiber's shadow stack is a root set: suspended interpreter
+  // threads hold live temporaries too.
+  for (const Value& v : persistent_roots_) mark(v);
+  for (const auto& [fiber, stack] : root_stacks_) {
+    for (const Value& v : stack) mark(v);
+  }
+  if (extra_marker_) extra_marker_([this](Value v) { mark(v); });
+
+  // Sweep. Chunks that end up empty are munmap'ed (but keep a small arena
+  // so the allocator does not thrash map/unmap).
+  std::uint64_t swept = 0;
+  for (auto& chunk : chunks_) {
+    chunk->free_list.clear();
+    chunk->live = 0;
+    for (auto& cell : chunk->cells) {
+      if (cell->marked) {
+        cell->marked = false;
+        ++chunk->live;
+      } else {
+        if (cell->type != Cell::Type::kFree) {
+          ++swept;
+          cell->reset();
+        }
+        chunk->free_list.push_back(cell.get());
+      }
+    }
+  }
+  stats_.cells_swept += swept;
+  stats_.live_cells -= swept;
+
+  for (std::size_t i = chunks_.size(); i-- > 0;) {
+    if (chunks_.size() <= config_.min_chunks) break;
+    if (chunks_[i]->live == 0) unmap_chunk(i);
+  }
+
+  // Re-arm the SIGSEGV machinery for the next cycle, as Racket's collector
+  // does — this is why rt_sigaction features so prominently in Fig 12.
+  if (config_.write_barriers && barrier_handler_) {
+    (void)sys().sigaction(ros::kSigSegv, barrier_handler_);
+  }
+
+  // Re-arm the write barriers: every chunk with survivors becomes old space,
+  // protected read-only; the next mutation of each faults once (the
+  // generational dirty-bit pattern). Empty chunks stay writable — they are
+  // the nursery the allocator draws from.
+  if (config_.write_barriers) {
+    for (auto& chunk : chunks_) {
+      if (chunk->live > 0 && !chunk->protected_) {
+        (void)sys().mprotect(chunk->guest_base, config_.chunk_bytes,
+                             ros::kProtRead);
+        chunk->protected_ = true;
+      }
+    }
+  }
+  // GC work is guest compute.
+  sys().charge_user(2000 + 40 * swept);
+  in_gc_ = false;
+}
+
+}  // namespace mv::scheme

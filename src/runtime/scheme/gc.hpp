@@ -1,0 +1,168 @@
+#pragma once
+
+// The Vessel conservative garbage collector, modeled on SenoraGC (the
+// portable conservative collector the paper's Racket port used). Object
+// payloads are host-side Cell structs, but every behaviour the paper's
+// evaluation measures is driven through the guest OS interface:
+//
+//   - heap chunks are allocated with mmap() and released with munmap()
+//     ("mmap() and munmap() dominate the system calls for the creation of
+//      the heap ... small sections of the heap are frequently freed with
+//      calls to munmap()")
+//   - after each collection the heap is write-protected with mprotect();
+//     the first mutation of a chunk takes a SIGSEGV whose handler (installed
+//     with rt_sigaction) unprotects the chunk — the classic mprotect-driven
+//     write-barrier that generates the rt_sigaction/rt_sigreturn/mprotect
+//     traffic of Figs 11 and 12
+//   - cell initialization touches the chunk's guest pages, so demand-paging
+//     faults and RSS growth are real
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "ros/guest.hpp"
+#include "support/fiber.hpp"
+#include "runtime/scheme/value.hpp"
+#include "support/result.hpp"
+
+namespace mv::scheme {
+
+struct GcStats {
+  std::uint64_t collections = 0;
+  std::uint64_t cells_allocated = 0;
+  std::uint64_t cells_swept = 0;
+  std::uint64_t chunks_mapped = 0;
+  std::uint64_t chunks_unmapped = 0;
+  std::uint64_t barrier_hits = 0;
+  std::uint64_t live_cells = 0;
+};
+
+class Heap {
+ public:
+  struct Config {
+    std::uint64_t chunk_bytes = 8 * 4096;  // 8 pages per chunk
+    std::uint64_t cell_bytes = 64;         // guest footprint per cell
+    // Collect when this many cells were allocated since the last GC.
+    std::uint64_t gc_allocation_trigger = 8 * 1024;
+    // Arm mprotect write barriers after each collection (generational
+    // dirty-tracking, as Racket's GC does).
+    bool write_barriers = true;
+    // Keep at least this many chunks mapped (avoids map/unmap thrash).
+    std::size_t min_chunks = 8;
+    // Chunks premapped at startup, and how many of those the boot-time
+    // sizing pass releases again (the mmap/munmap storm of Fig 11).
+    int startup_chunks = 32;
+    int startup_trim = 8;
+  };
+
+  Heap(ros::SysIface& sys, Config config);
+  Heap(ros::SysIface& sys) : Heap(sys, Config{}) {}
+
+  // Install the SIGSEGV barrier handler (rt_sigaction) and premap the
+  // initial arena. Call once at engine startup.
+  Status init();
+
+  // Allocate a cell of the given type. May trigger a collection first; all
+  // live data must be reachable from the registered roots.
+  Result<Cell*> alloc(Cell::Type type);
+
+  // --- root management -----------------------------------------------------
+  // The shadow stack: evaluator frames push temporaries that must survive
+  // allocation. RootScope pops automatically. One stack exists per fiber so
+  // interpreter threads (which interleave at syscall block points) cannot
+  // unbalance each other's scopes.
+  void push_root(Value v) { current_stack().push_back(v); }
+  void pop_roots(std::size_t n) {
+    auto& stack = current_stack();
+    stack.resize(stack.size() - n);
+  }
+  [[nodiscard]] std::size_t root_depth() { return current_stack().size(); }
+  // Persistent roots (the global environment, green-thread states).
+  void add_persistent_root(Value v) { persistent_roots_.push_back(v); }
+  // Callback-based roots for containers the heap cannot see (the engine's
+  // global binding table).
+  using RootVisitor = std::function<void(Value)>;
+  void set_extra_root_marker(std::function<void(const RootVisitor&)> fn) {
+    extra_marker_ = std::move(fn);
+  }
+
+  // Route guest OS calls through the current thread's interface (set by the
+  // engine once interpreter threads exist; defaults to the embedding iface).
+  using SysProvider = std::function<ros::SysIface&()>;
+  void set_sys_provider(SysProvider provider) {
+    sys_provider_ = std::move(provider);
+  }
+
+  // Mutation barrier: called by set-car!/set-cdr!/vector-set!/define. Writes
+  // to a protected chunk SIGSEGV into the handler, which unprotects it.
+  void write_barrier(Cell* cell);
+
+  // Force a full collection.
+  void collect();
+
+  [[nodiscard]] const GcStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t bytes_mapped() const noexcept {
+    return chunks_.size() * config_.chunk_bytes;
+  }
+
+ private:
+  struct Chunk {
+    std::uint64_t guest_base = 0;
+    std::vector<std::unique_ptr<Cell>> cells;
+    std::vector<Cell*> free_list;
+    std::uint64_t live = 0;
+    bool protected_ = false;
+    std::uint64_t touched_pages = 0;  // demand-fault shaping
+  };
+
+  [[nodiscard]] ros::SysIface& sys() {
+    return sys_provider_ ? sys_provider_() : *sys_;
+  }
+  std::vector<Value>& current_stack();
+
+  Status map_chunk();
+  void unmap_chunk(std::size_t index);
+  void mark(Value v);
+  void mark_cell(Cell* cell);
+  [[nodiscard]] std::uint64_t cells_per_chunk() const {
+    return config_.chunk_bytes / config_.cell_bytes;
+  }
+  Chunk* chunk_of(const Cell* cell);
+
+  ros::SysIface* sys_;
+  Config config_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  // Per-fiber shadow stacks (index 0 doubles as the no-fiber fallback).
+  std::vector<std::pair<const Fiber*, std::vector<Value>>> root_stacks_;
+  std::size_t current_stack_hint_ = 0;
+  std::vector<Value> persistent_roots_;
+  std::function<void(const RootVisitor&)> extra_marker_;
+  SysProvider sys_provider_;
+  std::uint64_t since_gc_ = 0;
+  GcStats stats_;
+  bool in_gc_ = false;
+  bool initialized_ = false;
+  ros::GuestSigHandler barrier_handler_;
+};
+
+// RAII shadow-stack scope.
+class RootScope {
+ public:
+  explicit RootScope(Heap& heap) : heap_(&heap) {}
+  ~RootScope() { heap_->pop_roots(count_); }
+  RootScope(const RootScope&) = delete;
+  RootScope& operator=(const RootScope&) = delete;
+
+  void add(Value v) {
+    heap_->push_root(v);
+    ++count_;
+  }
+
+ private:
+  Heap* heap_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mv::scheme

@@ -1,0 +1,657 @@
+#include "runtime/scheme/programs.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace mv::scheme {
+
+const char* benchmark_name(Bench b) noexcept {
+  switch (b) {
+    case Bench::kBinaryTrees: return "binary-tree-2";
+    case Bench::kFannkuch: return "fannkuch-redux";
+    case Bench::kFasta: return "fasta";
+    case Bench::kFasta3: return "fasta-3";
+    case Bench::kNBody: return "n-body";
+    case Bench::kSpectralNorm: return "spectral-norm";
+    case Bench::kMandelbrot: return "mandelbrot-2";
+    case Bench::kCount_: break;
+  }
+  return "?";
+}
+
+int benchmark_test_size(Bench b) noexcept {
+  switch (b) {
+    case Bench::kBinaryTrees: return 6;
+    case Bench::kFannkuch: return 6;
+    case Bench::kFasta: return 200;
+    case Bench::kFasta3: return 200;
+    case Bench::kNBody: return 100;
+    case Bench::kSpectralNorm: return 16;
+    case Bench::kMandelbrot: return 16;
+    case Bench::kCount_: break;
+  }
+  return 1;
+}
+
+int benchmark_bench_size(Bench b) noexcept {
+  switch (b) {
+    case Bench::kBinaryTrees: return 10;
+    case Bench::kFannkuch: return 8;
+    case Bench::kFasta: return 4000;
+    case Bench::kFasta3: return 4000;
+    case Bench::kNBody: return 2000;
+    case Bench::kSpectralNorm: return 48;
+    case Bench::kMandelbrot: return 48;
+    case Bench::kCount_: break;
+  }
+  return 1;
+}
+
+namespace {
+
+// Shared by fasta variants: the ALU sequence and the frequency tables.
+const char kAlu[] =
+    "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGAGGCGGGCGGATCACCTGAG"
+    "GTCAGGAGTTCGAGACCAGCCTGGCCAACATGGTGAAACCCCGTCTCTACTAAAAATACAAAAATTAGC"
+    "CGGGCGTGGTGGCGCGCGCCTGTAATCCCAGCTACTCGGGAGGCTGAGGCAGGAGAATCGCTTGAACCC"
+    "GGGAGGCGGAGGTTGCAGTGAGCCGAGATCGCGCCACTGCACTCCAGCCTGGGCGACAGAGCGAGACTC"
+    "CGTCTCAAAAA";
+
+const char kFastaCommon[] = R"SCM(
+(define seed 42)
+(define (rand-next max)
+  (set! seed (modulo (+ (* seed 3877) 29573) 139968))
+  (/ (* max seed) 139968.0))
+(define iub
+  '((#\a . 0.27) (#\c . 0.12) (#\g . 0.12) (#\t . 0.27)
+    (#\B . 0.02) (#\D . 0.02) (#\H . 0.02) (#\K . 0.02)
+    (#\M . 0.02) (#\N . 0.02) (#\R . 0.02) (#\S . 0.02)
+    (#\V . 0.02) (#\W . 0.02) (#\Y . 0.02)))
+(define homosapiens
+  '((#\a . 0.3029549426680) (#\c . 0.1979883004921)
+    (#\g . 0.1975473066391) (#\t . 0.3015094502008)))
+(define (make-cumulative pairs)
+  (let loop ((ps pairs) (c 0.0) (acc '()))
+    (if (null? ps) (reverse acc)
+        (let ((c2 (+ c (cdr (car ps)))))
+          (loop (cdr ps) c2 (cons (cons (car (car ps)) c2) acc))))))
+(define (repeat-fasta header seq count)
+  (display header) (newline)
+  (let* ((len (string-length seq))
+         (seq2 (string-append seq seq)))
+    (let loop ((count count) (pos 0))
+      (if (> count 0)
+          (let ((line (min 60 count)))
+            (display (substring seq2 pos (+ pos line)))
+            (newline)
+            (loop (- count line) (modulo (+ pos line) len)))
+          #t))))
+)SCM";
+
+const char kFastaBody[] = R"SCM(
+(define (select-random cum)
+  (let ((r (rand-next 1.0)))
+    (let loop ((ps cum))
+      (if (or (null? (cdr ps)) (< r (cdr (car ps))))
+          (car (car ps))
+          (loop (cdr ps))))))
+(define (random-fasta header cum count)
+  (display header) (newline)
+  (let ((line (make-string 60 #\a)))
+    (let loop ((count count))
+      (if (> count 0)
+          (let ((m (min 60 count)))
+            (do ((i 0 (+ i 1))) ((= i m))
+              (string-set! line i (select-random cum)))
+            (display (substring line 0 m))
+            (newline)
+            (loop (- count m)))
+          #t))))
+(repeat-fasta ">ONE Homo sapiens alu" alu (* n 2))
+(random-fasta ">TWO IUB ambiguity codes" (make-cumulative iub) (* n 3))
+(random-fasta ">THREE Homo sapiens frequency"
+              (make-cumulative homosapiens) (* n 5))
+)SCM";
+
+// fasta-3: the lookup-table variant ("two implementations of a random DNA
+// sequence generator").
+const char kFasta3Body[] = R"SCM(
+(define lookup-size 4096)
+(define (select-char cum r)
+  (let loop ((ps cum))
+    (if (or (null? (cdr ps)) (< r (cdr (car ps))))
+        (car (car ps))
+        (loop (cdr ps)))))
+(define (make-lookup cum)
+  (let ((v (make-vector lookup-size #\a)))
+    (do ((i 0 (+ i 1))) ((= i lookup-size) v)
+      (vector-set! v i
+        (select-char cum (/ (+ i 0.5) 4096.0))))))
+(define (select-lookup table)
+  (let ((r (rand-next 1.0)))
+    (vector-ref table (inexact->exact (floor (* r 4096.0))))))
+(define (random-fasta header table count)
+  (display header) (newline)
+  (let ((line (make-string 60 #\a)))
+    (let loop ((count count))
+      (if (> count 0)
+          (let ((m (min 60 count)))
+            (do ((i 0 (+ i 1))) ((= i m))
+              (string-set! line i (select-lookup table)))
+            (display (substring line 0 m))
+            (newline)
+            (loop (- count m)))
+          #t))))
+(repeat-fasta ">ONE Homo sapiens alu" alu (* n 2))
+(random-fasta ">TWO IUB ambiguity codes" (make-lookup (make-cumulative iub))
+              (* n 3))
+(random-fasta ">THREE Homo sapiens frequency"
+              (make-lookup (make-cumulative homosapiens)) (* n 5))
+)SCM";
+
+const char kBinaryTreesBody[] = R"SCM(
+(define min-depth 4)
+(define max-depth (max (+ min-depth 2) n))
+(define stretch-depth (+ max-depth 1))
+(define (make-tree d)
+  (if (= d 0)
+      (cons #f #f)
+      (cons (make-tree (- d 1)) (make-tree (- d 1)))))
+(define (check-tree t)
+  (if (car t)
+      (+ 1 (check-tree (car t)) (check-tree (cdr t)))
+      1))
+(display "stretch tree of depth ") (display stretch-depth)
+(display " check: ") (display (check-tree (make-tree stretch-depth)))
+(newline)
+(define long-lived (make-tree max-depth))
+(do ((d min-depth (+ d 2))) ((> d max-depth))
+  (let ((iters (expt 2 (+ (- max-depth d) min-depth))))
+    (let loop ((i 0) (c 0))
+      (if (= i iters)
+          (begin
+            (display iters) (display " trees of depth ") (display d)
+            (display " check: ") (display c) (newline))
+          (loop (+ i 1) (+ c (check-tree (make-tree d))))))))
+(display "long lived tree of depth ") (display max-depth)
+(display " check: ") (display (check-tree long-lived)) (newline)
+)SCM";
+
+const char kFannkuchBody[] = R"SCM(
+(define (fannkuch n)
+  (let ((perm (make-vector n 0))
+        (perm1 (make-vector n 0))
+        (count (make-vector n 0))
+        (flips 0) (maxflips 0) (checksum 0) (perm-count 0) (r n))
+    (do ((i 0 (+ i 1))) ((= i n)) (vector-set! perm1 i i))
+    (let loop ()
+      (let rloop ()
+        (when (> r 1)
+          (vector-set! count (- r 1) r)
+          (set! r (- r 1))
+          (rloop)))
+      (do ((i 0 (+ i 1))) ((= i n)) (vector-set! perm i (vector-ref perm1 i)))
+      (set! flips 0)
+      (let fliploop ((k (vector-ref perm 0)))
+        (unless (= k 0)
+          (let rev ((i 0) (j k))
+            (when (< i j)
+              (let ((t (vector-ref perm i)))
+                (vector-set! perm i (vector-ref perm j))
+                (vector-set! perm j t)
+                (rev (+ i 1) (- j 1)))))
+          (set! flips (+ flips 1))
+          (fliploop (vector-ref perm 0))))
+      (when (> flips maxflips) (set! maxflips flips))
+      (set! checksum
+            (if (even? perm-count) (+ checksum flips) (- checksum flips)))
+      (set! perm-count (+ perm-count 1))
+      (let next ()
+        (if (= r n)
+            #f
+            (let ((p0 (vector-ref perm1 0)))
+              (do ((i 0 (+ i 1))) ((= i r))
+                (vector-set! perm1 i (vector-ref perm1 (+ i 1))))
+              (vector-set! perm1 r p0)
+              (vector-set! count r (- (vector-ref count r) 1))
+              (if (> (vector-ref count r) 0)
+                  (loop)
+                  (begin (set! r (+ r 1)) (next)))))))
+    (display checksum) (newline)
+    (display "Pfannkuchen(") (display n) (display ") = ")
+    (display maxflips) (newline)))
+(fannkuch n)
+)SCM";
+
+const char kMandelbrotBody[] = R"SCM(
+(define limit 50)
+(define count 0)
+(do ((y 0 (+ y 1))) ((= y n))
+  (do ((x 0 (+ x 1))) ((= x n))
+    (let ((cr (- (/ (* 2.0 x) n) 1.5))
+          (ci (- (/ (* 2.0 y) n) 1.0)))
+      (let loop ((zr 0.0) (zi 0.0) (i 0))
+        (cond ((= i limit) (set! count (+ count 1)))
+              ((> (+ (* zr zr) (* zi zi)) 4.0) #f)
+              (else (loop (+ (- (* zr zr) (* zi zi)) cr)
+                          (+ (* 2.0 zr zi) ci)
+                          (+ i 1))))))))
+(display "P4") (newline)
+(display n) (display " ") (display n) (newline)
+(display "inside: ") (display count) (newline)
+)SCM";
+
+const char kSpectralNormBody[] = R"SCM(
+(define (A i j)
+  (/ 1.0 (+ (* (+ i j) (+ i j 1) 0.5) i 1.0)))
+(define (mul-Av v out)
+  (do ((i 0 (+ i 1))) ((= i n))
+    (let loop ((j 0) (sum 0.0))
+      (if (= j n)
+          (vector-set! out i sum)
+          (loop (+ j 1) (+ sum (* (A i j) (vector-ref v j))))))))
+(define (mul-Atv v out)
+  (do ((i 0 (+ i 1))) ((= i n))
+    (let loop ((j 0) (sum 0.0))
+      (if (= j n)
+          (vector-set! out i sum)
+          (loop (+ j 1) (+ sum (* (A j i) (vector-ref v j))))))))
+(define (mul-AtAv v out tmp)
+  (mul-Av v tmp)
+  (mul-Atv tmp out))
+(define u (make-vector n 1.0))
+(define v (make-vector n 0.0))
+(define tmp (make-vector n 0.0))
+(do ((i 0 (+ i 1))) ((= i 10))
+  (mul-AtAv u v tmp)
+  (mul-AtAv v u tmp))
+(define vBv
+  (let loop ((i 0) (sum 0.0))
+    (if (= i n) sum
+        (loop (+ i 1) (+ sum (* (vector-ref u i) (vector-ref v i)))))))
+(define vv
+  (let loop ((i 0) (sum 0.0))
+    (if (= i n) sum
+        (loop (+ i 1) (+ sum (* (vector-ref v i) (vector-ref v i)))))))
+(display (sqrt (/ vBv vv))) (newline)
+)SCM";
+
+// n-body constants are emitted as exact literals computed host-side so the
+// Scheme run and the C++ reference see bit-identical doubles.
+struct Body {
+  double x, y, z, vx, vy, vz, mass;
+};
+
+constexpr double kPi = 3.141592653589793;
+constexpr double kSolarMass = 4 * kPi * kPi;
+constexpr double kDaysPerYear = 365.24;
+
+std::vector<Body> initial_bodies() {
+  return {
+      // Sun (velocity fixed by momentum offset below).
+      {0, 0, 0, 0, 0, 0, kSolarMass},
+      // Jupiter
+      {4.84143144246472090e+00, -1.16032004402742839e+00,
+       -1.03622044471123109e-01, 1.66007664274403694e-03 * kDaysPerYear,
+       7.69901118419740425e-03 * kDaysPerYear,
+       -6.90460016972063023e-05 * kDaysPerYear,
+       9.54791938424326609e-04 * kSolarMass},
+      // Saturn
+      {8.34336671824457987e+00, 4.12479856412430479e+00,
+       -4.03523417114321381e-01, -2.76742510726862411e-03 * kDaysPerYear,
+       4.99852801234917238e-03 * kDaysPerYear,
+       2.30417297573763929e-05 * kDaysPerYear,
+       2.85885980666130812e-04 * kSolarMass},
+      // Uranus
+      {1.28943695621391310e+01, -1.51111514016986312e+01,
+       -2.23307578892655734e-01, 2.96460137564761618e-03 * kDaysPerYear,
+       2.37847173959480950e-03 * kDaysPerYear,
+       -2.96589568540237556e-05 * kDaysPerYear,
+       4.36624404335156298e-05 * kSolarMass},
+      // Neptune
+      {1.53796971148509165e+01, -2.59193146099879641e+01,
+       1.79258772950371181e-01, 2.68067772490389322e-03 * kDaysPerYear,
+       1.62824170038242295e-03 * kDaysPerYear,
+       -9.51592254519715870e-05 * kDaysPerYear,
+       5.15138902046611451e-05 * kSolarMass},
+  };
+}
+
+void offset_momentum(std::vector<Body>& bodies) {
+  double px = 0, py = 0, pz = 0;
+  for (const Body& b : bodies) {
+    px += b.vx * b.mass;
+    py += b.vy * b.mass;
+    pz += b.vz * b.mass;
+  }
+  bodies[0].vx = -px / kSolarMass;
+  bodies[0].vy = -py / kSolarMass;
+  bodies[0].vz = -pz / kSolarMass;
+}
+
+std::string nbody_source(int steps) {
+  std::vector<Body> bodies = initial_bodies();
+  offset_momentum(bodies);
+  std::string src = strfmt("(define steps %d)\n", steps);
+  src += "(define bodies (vector\n";
+  for (const Body& b : bodies) {
+    src += strfmt("  (vector %.17g %.17g %.17g %.17g %.17g %.17g %.17g)\n",
+                  b.x, b.y, b.z, b.vx, b.vy, b.vz, b.mass);
+  }
+  src += "))\n";
+  src += R"SCM(
+(define nbodies (vector-length bodies))
+(define (bref i k) (vector-ref (vector-ref bodies i) k))
+(define (bset! i k v) (vector-set! (vector-ref bodies i) k v))
+(define (energy)
+  (let loop ((i 0) (e 0.0))
+    (if (= i nbodies) e
+        (let ((e1 (+ e (* 0.5 (bref i 6)
+                          (+ (* (bref i 3) (bref i 3))
+                             (* (bref i 4) (bref i 4))
+                             (* (bref i 5) (bref i 5)))))))
+          (let inner ((j (+ i 1)) (e2 e1))
+            (if (= j nbodies)
+                (loop (+ i 1) e2)
+                (let* ((dx (- (bref i 0) (bref j 0)))
+                       (dy (- (bref i 1) (bref j 1)))
+                       (dz (- (bref i 2) (bref j 2)))
+                       (dist (sqrt (+ (* dx dx) (* dy dy) (* dz dz)))))
+                  (inner (+ j 1)
+                         (- e2 (/ (* (bref i 6) (bref j 6)) dist))))))))))
+(define (advance dt)
+  (do ((i 0 (+ i 1))) ((= i nbodies))
+    (do ((j (+ i 1) (+ j 1))) ((= j nbodies))
+      (let* ((dx (- (bref i 0) (bref j 0)))
+             (dy (- (bref i 1) (bref j 1)))
+             (dz (- (bref i 2) (bref j 2)))
+             (d2 (+ (* dx dx) (* dy dy) (* dz dz)))
+             (mag (/ dt (* d2 (sqrt d2)))))
+        (bset! i 3 (- (bref i 3) (* dx (bref j 6) mag)))
+        (bset! i 4 (- (bref i 4) (* dy (bref j 6) mag)))
+        (bset! i 5 (- (bref i 5) (* dz (bref j 6) mag)))
+        (bset! j 3 (+ (bref j 3) (* dx (bref i 6) mag)))
+        (bset! j 4 (+ (bref j 4) (* dy (bref i 6) mag)))
+        (bset! j 5 (+ (bref j 5) (* dz (bref i 6) mag))))))
+  (do ((i 0 (+ i 1))) ((= i nbodies))
+    (bset! i 0 (+ (bref i 0) (* dt (bref i 3))))
+    (bset! i 1 (+ (bref i 1) (* dt (bref i 4))))
+    (bset! i 2 (+ (bref i 2) (* dt (bref i 5))))))
+(display (energy)) (newline)
+(do ((s 0 (+ s 1))) ((= s steps))
+  (advance 0.01))
+(display (energy)) (newline)
+)SCM";
+  return src;
+}
+
+}  // namespace
+
+std::string benchmark_source(Bench b, int n) {
+  const std::string header = strfmt("(define n %d)\n", n);
+  const std::string alu_def = std::string("(define alu \"") + kAlu + "\")\n";
+  switch (b) {
+    case Bench::kBinaryTrees: return header + kBinaryTreesBody;
+    case Bench::kFannkuch: return header + kFannkuchBody;
+    case Bench::kFasta: return header + alu_def + kFastaCommon + kFastaBody;
+    case Bench::kFasta3: return header + alu_def + kFastaCommon + kFasta3Body;
+    case Bench::kNBody: return nbody_source(n);
+    case Bench::kSpectralNorm: return header + kSpectralNormBody;
+    case Bench::kMandelbrot: return header + kMandelbrotBody;
+    case Bench::kCount_: break;
+  }
+  return "";
+}
+
+Status install_boot_files(ros::FileSystem& fs) {
+  MV_RETURN_IF_ERROR(fs.mkdir("/", "collects"));
+  MV_RETURN_IF_ERROR(fs.mkdir("/", "collects/vessel"));
+  // Real library code the engine loads through open/read/close at startup —
+  // this is what produces the Racket-like boot syscall histogram (Fig 11).
+  MV_RETURN_IF_ERROR(fs.write_file(
+      "/collects/vessel/boot.vsl",
+      ";; Vessel boot collection\n"
+      "(define *vessel-version* \"1.0\")\n"
+      "(define (void? x) (eq? x (void)))\n"));
+  MV_RETURN_IF_ERROR(fs.write_file(
+      "/collects/vessel/base.vsl",
+      "(define (identity x) x)\n"
+      "(define (const x) (lambda args x))\n"
+      "(define (compose f g) (lambda (x) (f (g x))))\n"));
+  MV_RETURN_IF_ERROR(fs.write_file(
+      "/collects/vessel/list.vsl",
+      "(define (take l n) (if (= n 0) '() (cons (car l) (take (cdr l) (- n 1)))))\n"
+      "(define (drop l n) (if (= n 0) l (drop (cdr l) (- n 1))))\n"
+      "(define (count pred l)\n"
+      "  (if (null? l) 0 (+ (if (pred (car l)) 1 0) (count pred (cdr l)))))\n"));
+  MV_RETURN_IF_ERROR(fs.write_file(
+      "/collects/vessel/string.vsl",
+      "(define (string-null? s) (= (string-length s) 0))\n"));
+  MV_RETURN_IF_ERROR(fs.write_file(
+      "/collects/vessel/math.vsl",
+      "(define pi 3.141592653589793)\n"
+      "(define (square x) (* x x))\n"
+      "(define (cube x) (* x x x))\n"));
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementations
+// ---------------------------------------------------------------------------
+
+namespace reference {
+
+std::int64_t binary_trees_check(int depth) {
+  return (std::int64_t{1} << (depth + 1)) - 1;
+}
+
+FannkuchResult fannkuch(int n) {
+  std::vector<int> perm(n), perm1(n), count(n);
+  for (int i = 0; i < n; ++i) perm1[i] = i;
+  std::int64_t checksum = 0;
+  int max_flips = 0;
+  std::int64_t perm_count = 0;
+  int r = n;
+  for (;;) {
+    while (r > 1) {
+      count[r - 1] = r;
+      --r;
+    }
+    perm = perm1;
+    int flips = 0;
+    for (int k = perm[0]; k != 0; k = perm[0]) {
+      for (int i = 0, j = k; i < j; ++i, --j) std::swap(perm[i], perm[j]);
+      ++flips;
+    }
+    max_flips = std::max(max_flips, flips);
+    checksum += (perm_count % 2 == 0) ? flips : -flips;
+    ++perm_count;
+    for (;;) {
+      if (r == n) return FannkuchResult{checksum, max_flips};
+      const int p0 = perm1[0];
+      for (int i = 0; i < r; ++i) perm1[i] = perm1[i + 1];
+      perm1[r] = p0;
+      if (--count[r] > 0) break;
+      ++r;
+    }
+  }
+}
+
+double spectral_norm(int n) {
+  const auto A = [](int i, int j) {
+    return 1.0 / ((i + j) * (i + j + 1) * 0.5 + i + 1.0);
+  };
+  std::vector<double> u(n, 1.0), v(n, 0.0), tmp(n, 0.0);
+  const auto mul_Av = [&](const std::vector<double>& x,
+                          std::vector<double>& out) {
+    for (int i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < n; ++j) sum += A(i, j) * x[j];
+      out[i] = sum;
+    }
+  };
+  const auto mul_Atv = [&](const std::vector<double>& x,
+                           std::vector<double>& out) {
+    for (int i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < n; ++j) sum += A(j, i) * x[j];
+      out[i] = sum;
+    }
+  };
+  for (int it = 0; it < 10; ++it) {
+    mul_Av(u, tmp);
+    mul_Atv(tmp, v);
+    mul_Av(v, tmp);
+    mul_Atv(tmp, u);
+  }
+  double vBv = 0.0, vv = 0.0;
+  for (int i = 0; i < n; ++i) {
+    vBv += u[i] * v[i];
+    vv += v[i] * v[i];
+  }
+  return std::sqrt(vBv / vv);
+}
+
+NBodyResult nbody(int steps) {
+  std::vector<Body> bodies = initial_bodies();
+  offset_momentum(bodies);
+  const auto energy = [&bodies]() {
+    double e = 0.0;
+    const int n = static_cast<int>(bodies.size());
+    for (int i = 0; i < n; ++i) {
+      const Body& a = bodies[static_cast<std::size_t>(i)];
+      e += 0.5 * a.mass * (a.vx * a.vx + a.vy * a.vy + a.vz * a.vz);
+      for (int j = i + 1; j < n; ++j) {
+        const Body& b = bodies[static_cast<std::size_t>(j)];
+        const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+        e -= a.mass * b.mass / std::sqrt(dx * dx + dy * dy + dz * dz);
+      }
+    }
+    return e;
+  };
+  NBodyResult result{};
+  result.initial_energy = energy();
+  const double dt = 0.01;
+  const int n = static_cast<int>(bodies.size());
+  for (int s = 0; s < steps; ++s) {
+    for (int i = 0; i < n; ++i) {
+      Body& a = bodies[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < n; ++j) {
+        Body& b = bodies[static_cast<std::size_t>(j)];
+        const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+        const double d2 = dx * dx + dy * dy + dz * dz;
+        const double mag = dt / (d2 * std::sqrt(d2));
+        a.vx -= dx * b.mass * mag;
+        a.vy -= dy * b.mass * mag;
+        a.vz -= dz * b.mass * mag;
+        b.vx += dx * a.mass * mag;
+        b.vy += dy * a.mass * mag;
+        b.vz += dz * a.mass * mag;
+      }
+    }
+    for (Body& b : bodies) {
+      b.x += dt * b.vx;
+      b.y += dt * b.vy;
+      b.z += dt * b.vz;
+    }
+  }
+  result.final_energy = energy();
+  return result;
+}
+
+std::int64_t mandelbrot_inside(int n) {
+  std::int64_t count = 0;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const double cr = 2.0 * x / n - 1.5;
+      const double ci = 2.0 * y / n - 1.0;
+      double zr = 0.0, zi = 0.0;
+      int i = 0;
+      for (; i < 50; ++i) {
+        if (zr * zr + zi * zi > 4.0) break;
+        const double nzr = zr * zr - zi * zi + cr;
+        zi = 2.0 * zr * zi + ci;
+        zr = nzr;
+      }
+      if (i == 50) ++count;
+    }
+  }
+  return count;
+}
+
+std::string fasta(int n) {
+  std::string out;
+  // repeat-fasta
+  out += ">ONE Homo sapiens alu\n";
+  {
+    const std::string seq = kAlu;
+    const std::string seq2 = seq + seq;
+    const int len = static_cast<int>(seq.size());
+    int count = n * 2;
+    int pos = 0;
+    while (count > 0) {
+      const int line = std::min(60, count);
+      out += seq2.substr(static_cast<std::size_t>(pos),
+                         static_cast<std::size_t>(line));
+      out += '\n';
+      count -= line;
+      pos = (pos + line) % len;
+    }
+  }
+  // random-fasta — must match the Scheme arithmetic exactly.
+  std::int64_t seed = 42;
+  const auto rand_next = [&seed](double max) {
+    seed = (seed * 3877 + 29573) % 139968;
+    return max * static_cast<double>(seed) / 139968.0;
+  };
+  struct Freq {
+    char ch;
+    double p;
+  };
+  const std::vector<Freq> iub = {
+      {'a', 0.27}, {'c', 0.12}, {'g', 0.12}, {'t', 0.27}, {'B', 0.02},
+      {'D', 0.02}, {'H', 0.02}, {'K', 0.02}, {'M', 0.02}, {'N', 0.02},
+      {'R', 0.02}, {'S', 0.02}, {'V', 0.02}, {'W', 0.02}, {'Y', 0.02}};
+  const std::vector<Freq> homo = {{'a', 0.3029549426680},
+                                  {'c', 0.1979883004921},
+                                  {'g', 0.1975473066391},
+                                  {'t', 0.3015094502008}};
+  const auto cumulative = [](const std::vector<Freq>& fs) {
+    std::vector<Freq> out_fs = fs;
+    double c = 0.0;
+    for (Freq& f : out_fs) {
+      c += f.p;
+      f.p = c;
+    }
+    return out_fs;
+  };
+  const auto random_section = [&](const char* header,
+                                  const std::vector<Freq>& cum, int count) {
+    out += header;
+    out += '\n';
+    while (count > 0) {
+      const int m = std::min(60, count);
+      for (int i = 0; i < m; ++i) {
+        const double r = rand_next(1.0);
+        char ch = cum.back().ch;
+        for (const Freq& f : cum) {
+          if (r < f.p) {
+            ch = f.ch;
+            break;
+          }
+        }
+        out += ch;
+      }
+      out += '\n';
+      count -= m;
+    }
+  };
+  random_section(">TWO IUB ambiguity codes", cumulative(iub), n * 3);
+  random_section(">THREE Homo sapiens frequency", cumulative(homo), n * 5);
+  return out;
+}
+
+}  // namespace reference
+}  // namespace mv::scheme

@@ -1,0 +1,62 @@
+#pragma once
+
+// The seven Computer Language Benchmarks Game programs the paper evaluates
+// hybridized Racket with (Sec 5), written in Vessel Scheme, plus host-side
+// C++ reference implementations used by the tests to validate the
+// interpreter's answers, and the boot-collection installer that gives the
+// engine its Racket-like startup syscall profile.
+
+#include <cstdint>
+#include <string>
+
+#include "ros/fs.hpp"
+
+namespace mv::scheme {
+
+enum class Bench {
+  kBinaryTrees,   // "binary-tree-2": GC benchmark
+  kFannkuch,      // "fannkuch-redux": permutations
+  kFasta,         // random DNA generation (linear search)
+  kFasta3,        // random DNA generation (lookup table)
+  kNBody,         // Jovian n-body simulation
+  kSpectralNorm,  // spectral norm power method
+  kMandelbrot,    // "mandelbrot-2"
+  kCount_,
+};
+
+inline constexpr int kBenchCount = static_cast<int>(Bench::kCount_);
+
+const char* benchmark_name(Bench b) noexcept;
+
+// Scheme source for the benchmark at problem size `n`.
+std::string benchmark_source(Bench b, int n);
+
+// Paper-shape problem sizes: `test` completes in milliseconds; `bench` in
+// simulated seconds (used by the Fig 10/13 harnesses).
+int benchmark_test_size(Bench b) noexcept;
+int benchmark_bench_size(Bench b) noexcept;
+
+// Install the Vessel collection tree into the simulated filesystem, so the
+// engine's boot sequence stats/opens/reads/closes real files (Fig 11's
+// startup profile).
+Status install_boot_files(ros::FileSystem& fs);
+
+// --- host-side reference implementations (for correctness tests) ------------
+namespace reference {
+std::int64_t binary_trees_check(int depth);  // nodes in a perfect tree
+struct FannkuchResult {
+  std::int64_t checksum;
+  int max_flips;
+};
+FannkuchResult fannkuch(int n);
+double spectral_norm(int n);
+struct NBodyResult {
+  double initial_energy;
+  double final_energy;
+};
+NBodyResult nbody(int steps);
+std::int64_t mandelbrot_inside(int n);
+std::string fasta(int n);  // full expected output of the fasta benchmark
+}  // namespace reference
+
+}  // namespace mv::scheme

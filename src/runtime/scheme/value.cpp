@@ -1,0 +1,51 @@
+#include "runtime/scheme/value.hpp"
+
+namespace mv::scheme {
+
+bool value_eq(const Value& a, const Value& b) {
+  if (a.tag != b.tag) return false;
+  switch (a.tag) {
+    case Value::Tag::kNil:
+    case Value::Tag::kUnspecified:
+    case Value::Tag::kEof:
+      return true;
+    case Value::Tag::kBool: return a.b == b.b;
+    case Value::Tag::kInt: return a.i == b.i;
+    case Value::Tag::kReal: return a.d == b.d;  // eq? on flonums: identity-ish
+    case Value::Tag::kChar: return a.c == b.c;
+    case Value::Tag::kSym: return a.sym == b.sym;
+    case Value::Tag::kCell: return a.cell == b.cell;
+  }
+  return false;
+}
+
+bool value_eqv(const Value& a, const Value& b) {
+  // eqv? additionally compares numbers by value across exactness? R7RS says
+  // same exactness required; we follow that.
+  return value_eq(a, b);
+}
+
+bool value_equal(const Value& a, const Value& b) {
+  if (value_eqv(a, b)) return true;
+  if (!a.is_cell() || !b.is_cell()) return false;
+  const Cell* ca = a.cell;
+  const Cell* cb = b.cell;
+  if (ca->type != cb->type) return false;
+  switch (ca->type) {
+    case Cell::Type::kPair:
+      return value_equal(ca->car, cb->car) && value_equal(ca->cdr, cb->cdr);
+    case Cell::Type::kString:
+      return ca->str == cb->str;
+    case Cell::Type::kVector: {
+      if (ca->vec.size() != cb->vec.size()) return false;
+      for (std::size_t i = 0; i < ca->vec.size(); ++i) {
+        if (!value_equal(ca->vec[i], cb->vec[i])) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace mv::scheme

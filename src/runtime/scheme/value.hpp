@@ -1,0 +1,196 @@
+#pragma once
+
+// Vessel Scheme value model. Immediates (nil, booleans, fixnums, flonums,
+// chars, interned symbols) live in the Value struct; everything else (pairs,
+// strings, vectors, closures, environments) lives in GC-managed cells whose
+// *pages* are real guest memory (see gc.hpp).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace mv::scheme {
+
+class Cell;
+class Engine;
+
+using SymId = std::uint32_t;
+
+struct Value {
+  enum class Tag : std::uint8_t {
+    kNil,
+    kUnspecified,
+    kEof,
+    kBool,
+    kInt,
+    kReal,
+    kChar,
+    kSym,
+    kCell,
+  };
+
+  Tag tag = Tag::kNil;
+  union {
+    bool b;
+    std::int64_t i;
+    double d;
+    char c;
+    SymId sym;
+    Cell* cell;
+  };
+
+  Value() : tag(Tag::kNil), cell(nullptr) {}
+
+  static Value nil() { return Value{}; }
+  static Value unspecified() {
+    Value v;
+    v.tag = Tag::kUnspecified;
+    return v;
+  }
+  static Value eof() {
+    Value v;
+    v.tag = Tag::kEof;
+    return v;
+  }
+  static Value boolean(bool b) {
+    Value v;
+    v.tag = Tag::kBool;
+    v.b = b;
+    return v;
+  }
+  static Value integer(std::int64_t i) {
+    Value v;
+    v.tag = Tag::kInt;
+    v.i = i;
+    return v;
+  }
+  static Value real(double d) {
+    Value v;
+    v.tag = Tag::kReal;
+    v.d = d;
+    return v;
+  }
+  static Value character(char c) {
+    Value v;
+    v.tag = Tag::kChar;
+    v.c = c;
+    return v;
+  }
+  static Value symbol(SymId s) {
+    Value v;
+    v.tag = Tag::kSym;
+    v.sym = s;
+    return v;
+  }
+  static Value from_cell(Cell* cell) {
+    Value v;
+    v.tag = Tag::kCell;
+    v.cell = cell;
+    return v;
+  }
+
+  [[nodiscard]] bool is_nil() const { return tag == Tag::kNil; }
+  [[nodiscard]] bool is_bool() const { return tag == Tag::kBool; }
+  [[nodiscard]] bool is_int() const { return tag == Tag::kInt; }
+  [[nodiscard]] bool is_real() const { return tag == Tag::kReal; }
+  [[nodiscard]] bool is_number() const { return is_int() || is_real(); }
+  [[nodiscard]] bool is_char() const { return tag == Tag::kChar; }
+  [[nodiscard]] bool is_sym() const { return tag == Tag::kSym; }
+  [[nodiscard]] bool is_cell() const { return tag == Tag::kCell; }
+  [[nodiscard]] bool is_pair() const;
+  [[nodiscard]] bool is_string() const;
+  [[nodiscard]] bool is_vector() const;
+  [[nodiscard]] bool is_callable() const;
+  [[nodiscard]] bool is_env() const;
+
+  // Scheme truthiness: everything but #f is true.
+  [[nodiscard]] bool truthy() const { return !(is_bool() && !b); }
+
+  [[nodiscard]] double as_real() const {
+    return is_real() ? d : static_cast<double>(i);
+  }
+};
+
+// Builtin procedure: receives evaluated arguments; may allocate.
+using BuiltinFn =
+    std::function<Result<Value>(Engine&, std::vector<Value>& args)>;
+
+class Cell {
+ public:
+  enum class Type : std::uint8_t {
+    kFree,
+    kPair,
+    kString,
+    kVector,
+    kClosure,
+    kBuiltin,
+    kEnv,
+  };
+
+  Type type = Type::kFree;
+  bool marked = false;
+  std::uint64_t guest_addr = 0;  // where this cell "lives" in guest memory
+
+  // --- pair ---
+  Value car, cdr;
+  // --- string ---
+  std::string str;
+  // --- vector / closure captures ---
+  std::vector<Value> vec;
+  // --- closure ---
+  std::vector<SymId> params;
+  SymId rest_param = 0;   // 0 = none; variadic tail parameter otherwise
+  bool has_rest = false;
+  Value body;             // list of body expressions
+  Cell* closure_env = nullptr;
+  std::string proc_name;  // for error messages
+  // --- builtin ---
+  BuiltinFn builtin;
+  // --- environment ---
+  std::vector<std::pair<SymId, Value>> bindings;
+  Cell* parent_env = nullptr;
+
+  void reset() {
+    type = Type::kFree;
+    marked = false;
+    car = Value{};
+    cdr = Value{};
+    str.clear();
+    vec.clear();
+    params.clear();
+    has_rest = false;
+    body = Value{};
+    closure_env = nullptr;
+    proc_name.clear();
+    builtin = nullptr;
+    bindings.clear();
+    parent_env = nullptr;
+  }
+};
+
+inline bool Value::is_pair() const {
+  return is_cell() && cell->type == Cell::Type::kPair;
+}
+inline bool Value::is_string() const {
+  return is_cell() && cell->type == Cell::Type::kString;
+}
+inline bool Value::is_vector() const {
+  return is_cell() && cell->type == Cell::Type::kVector;
+}
+inline bool Value::is_callable() const {
+  return is_cell() && (cell->type == Cell::Type::kClosure ||
+                       cell->type == Cell::Type::kBuiltin);
+}
+inline bool Value::is_env() const {
+  return is_cell() && cell->type == Cell::Type::kEnv;
+}
+
+// Structural equality (equal?); eqv? and eq? are shallower.
+bool value_eq(const Value& a, const Value& b);     // eq?  (identity)
+bool value_eqv(const Value& a, const Value& b);    // eqv? (numbers by value)
+bool value_equal(const Value& a, const Value& b);  // equal? (deep)
+
+}  // namespace mv::scheme

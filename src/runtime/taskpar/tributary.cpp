@@ -1,0 +1,112 @@
+#include "runtime/taskpar/tributary.hpp"
+
+#include "support/strings.hpp"
+
+namespace mv::taskpar {
+
+Result<TaskId> TaskGraph::add(TaskFn fn, std::vector<TaskId> deps,
+                              std::string name) {
+  if (running_) return err(Err::kState, "cannot add tasks while running");
+  const TaskId id = tasks_.size();
+  Task task;
+  task.fn = std::move(fn);
+  task.name = name.empty() ? strfmt("task-%zu", id) : std::move(name);
+  for (const TaskId dep : deps) {
+    if (dep >= id) return err(Err::kInval, "dependency on unknown task");
+    if (!tasks_[dep].done) ++task.pending_deps;
+    tasks_[dep].dependents.push_back(id);
+  }
+  task.deps = std::move(deps);
+  tasks_.push_back(std::move(task));
+  if (tasks_.back().pending_deps == 0) ready_.push_back(id);
+  ++remaining_;
+  return id;
+}
+
+TaskId TaskGraph::claim_ready() {
+  while (!ready_.empty()) {
+    const TaskId id = ready_.back();
+    ready_.pop_back();
+    if (!tasks_[id].claimed && !tasks_[id].done) {
+      tasks_[id].claimed = true;
+      return id;
+    }
+  }
+  return kNone;
+}
+
+void TaskGraph::complete(TaskId id) {
+  Task& task = tasks_[id];
+  task.done = true;
+  --remaining_;
+  ++executed_;
+  order_.push_back(id);
+  for (const TaskId dep : task.dependents) {
+    if (--tasks_[dep].pending_deps == 0) ready_.push_back(dep);
+  }
+}
+
+void TaskGraph::worker_loop(ros::SysIface& sys) {
+  // Cooperative work loop: claim/complete are atomic between yield points,
+  // so no locks are needed under the deterministic scheduler.
+  while (remaining_ > 0) {
+    const TaskId id = claim_ready();
+    if (id == kNone) {
+      // Nothing ready: another worker is mid-task. Yield and re-check.
+      sys.thread_yield();
+      continue;
+    }
+    tasks_[id].fn(sys);
+    complete(id);
+  }
+}
+
+Status TaskGraph::run(ros::SysIface& sys, unsigned workers) {
+  if (running_) return err(Err::kState, "TaskGraph::run is not reentrant");
+  // Cycle guard: at least one task must be ready if any remain.
+  if (remaining_ > 0 && ready_.empty()) {
+    return err(Err::kInval, "task graph has no runnable roots (cycle?)");
+  }
+  running_ = true;
+  std::vector<int> tids;
+  for (unsigned w = 1; w < workers; ++w) {
+    auto tid = sys.thread_create(
+        [this](ros::SysIface& worker_sys) { worker_loop(worker_sys); });
+    if (!tid) {
+      running_ = false;
+      return tid.status();
+    }
+    tids.push_back(*tid);
+  }
+  // The calling thread is worker 0.
+  worker_loop(sys);
+  for (const int tid : tids) {
+    MV_RETURN_IF_ERROR(sys.thread_join(tid));
+  }
+  running_ = false;
+  return remaining_ == 0
+             ? Status::ok()
+             : err(Err::kState, "tasks remained unexecuted (deadlock)");
+}
+
+Status parallel_for(
+    ros::SysIface& sys, unsigned workers, std::size_t n, std::size_t chunks,
+    const std::function<void(ros::SysIface&, std::size_t, std::size_t)>&
+        body) {
+  if (chunks == 0) return err(Err::kInval, "parallel_for: zero chunks");
+  TaskGraph graph;
+  const std::size_t per = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per;
+    const std::size_t end = std::min(n, begin + per);
+    if (begin >= end) break;
+    MV_RETURN_IF_ERROR(graph
+                           .add([=, &body](ros::SysIface& worker_sys) {
+                             body(worker_sys, begin, end);
+                           })
+                           .status());
+  }
+  return graph.run(sys, workers);
+}
+
+}  // namespace mv::taskpar

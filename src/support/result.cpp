@@ -1,0 +1,45 @@
+#include "support/result.hpp"
+
+namespace mv {
+
+const char* err_name(Err e) noexcept {
+  switch (e) {
+    case Err::kOk: return "OK";
+    case Err::kPerm: return "EPERM";
+    case Err::kNoEnt: return "ENOENT";
+    case Err::kIntr: return "EINTR";
+    case Err::kIo: return "EIO";
+    case Err::kBadFd: return "EBADF";
+    case Err::kAgain: return "EAGAIN";
+    case Err::kNoMem: return "ENOMEM";
+    case Err::kAccess: return "EACCES";
+    case Err::kFault: return "EFAULT";
+    case Err::kExist: return "EEXIST";
+    case Err::kNotDir: return "ENOTDIR";
+    case Err::kIsDir: return "EISDIR";
+    case Err::kInval: return "EINVAL";
+    case Err::kMFile: return "EMFILE";
+    case Err::kNoSpc: return "ENOSPC";
+    case Err::kRange: return "ERANGE";
+    case Err::kNoSys: return "ENOSYS";
+    case Err::kBadAddr: return "BAD_ADDR";
+    case Err::kPageFault: return "PAGE_FAULT";
+    case Err::kProtocol: return "PROTOCOL";
+    case Err::kState: return "BAD_STATE";
+    case Err::kLimit: return "LIMIT";
+    case Err::kParse: return "PARSE";
+    case Err::kUnsupported: return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string s = err_name(code_);
+  if (!detail_.empty()) {
+    s += ": ";
+    s += detail_;
+  }
+  return s;
+}
+
+}  // namespace mv

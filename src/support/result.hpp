@@ -1,0 +1,142 @@
+#pragma once
+
+// Result<T> / Status: lightweight expected-style error propagation used across
+// the whole stack. We avoid exceptions on simulated-guest paths because guest
+// errors (bad addresses, EFAULT, ...) are ordinary control flow there.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mv {
+
+// Error codes shared across the stack. Values < 0x100 mirror errno where a
+// Linux equivalent exists so the ROS syscall layer can pass them through.
+enum class Err : int {
+  kOk = 0,
+  kPerm = 1,          // EPERM
+  kNoEnt = 2,         // ENOENT
+  kIntr = 4,          // EINTR
+  kIo = 5,            // EIO
+  kBadFd = 9,         // EBADF
+  kAgain = 11,        // EAGAIN
+  kNoMem = 12,        // ENOMEM
+  kAccess = 13,       // EACCES
+  kFault = 14,        // EFAULT
+  kExist = 17,        // EEXIST
+  kNotDir = 20,       // ENOTDIR
+  kIsDir = 21,        // EISDIR
+  kInval = 22,        // EINVAL
+  kMFile = 24,        // EMFILE
+  kNoSpc = 28,        // ENOSPC
+  kRange = 34,        // ERANGE
+  kNoSys = 38,        // ENOSYS
+  // Simulator-internal conditions (no errno analogue).
+  kBadAddr = 0x100,   // non-canonical or unmapped simulated address
+  kPageFault = 0x101, // translation raised a fault that must be serviced
+  kProtocol = 0x102,  // event-channel protocol violation
+  kState = 0x103,     // object used in a state that forbids the operation
+  kLimit = 0x104,     // resource limit hit (cores, fds, ...)
+  kParse = 0x105,     // config / image / source parse failure
+  kUnsupported = 0x106,
+};
+
+const char* err_name(Err e) noexcept;
+
+// A status is an error code plus an optional human-readable detail message.
+class Status {
+ public:
+  Status() noexcept : code_(Err::kOk) {}
+  explicit Status(Err code, std::string detail = {})
+      : code_(code), detail_(std::move(detail)) {}
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Err::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Err code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Err code_;
+  std::string detail_;
+};
+
+inline Status err(Err code, std::string detail = {}) {
+  return Status{code, std::move(detail)};
+}
+
+// Result<T>: either a value or a Status carrying a non-OK code.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(implicit)
+  Result(Status status) : v_(std::move(status)) {      // NOLINT(implicit)
+    assert(!std::get<Status>(v_).is_ok() && "Result from OK status");
+  }
+  Result(Err code, std::string detail = {})
+      : v_(Status{code, std::move(detail)}) {}
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(v_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(v_));
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(v_);
+  }
+  [[nodiscard]] Err code() const noexcept {
+    return is_ok() ? Err::kOk : std::get<Status>(v_).code();
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace mv
+
+// Propagate a non-OK Status from an expression producing Status.
+#define MV_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::mv::Status mv_status__ = (expr);            \
+    if (!mv_status__.is_ok()) return mv_status__; \
+  } while (0)
+
+// Bind a Result value or propagate its Status.
+#define MV_CONCAT_INNER(a, b) a##b
+#define MV_CONCAT(a, b) MV_CONCAT_INNER(a, b)
+#define MV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.is_ok()) return tmp.status();         \
+  lhs = std::move(tmp).value()
+#define MV_ASSIGN_OR_RETURN(lhs, expr) \
+  MV_ASSIGN_OR_RETURN_IMPL(MV_CONCAT(mv_result__, __LINE__), lhs, expr)

@@ -1,0 +1,58 @@
+#pragma once
+
+// Fixed-capacity ring buffer used for event-channel request queues and the
+// ROS scheduler run queues. Single-producer/single-consumer semantics are
+// enough under the cooperative scheduler.
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+namespace mv {
+
+template <typename T, std::size_t Capacity>
+class Ring {
+  static_assert(Capacity > 0);
+
+ public:
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == Capacity; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept {
+    return Capacity;
+  }
+
+  bool push(T value) {
+    if (full()) return false;
+    slots_[(head_ + size_) % Capacity] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % Capacity;
+    --size_;
+    return value;
+  }
+
+  T& front() {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::array<T, Capacity> slots_{};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mv

@@ -1,0 +1,118 @@
+#include "support/sched.hpp"
+
+#include <cassert>
+
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace mv {
+
+Sched::~Sched() = default;
+
+TaskId Sched::spawn(unsigned core, std::function<void()> fn,
+                    std::string name) {
+  auto task = std::make_unique<Task>();
+  task->id = next_id_++;
+  task->core = core;
+  task->name = std::move(name);
+  Task* raw = task.get();
+  task->fiber = std::make_unique<Fiber>(
+      [this, raw, fn = std::move(fn)]() {
+        fn();
+        raw->done = true;
+      },
+      16 * 1024 * 1024, task->name);
+  run_queue_.push_back(task->id);
+  ++live_;
+  tasks_.push_back(std::move(task));
+  MV_TRACE("sched", strfmt("spawn task %llu '%s' on core %u",
+                           static_cast<unsigned long long>(raw->id),
+                           raw->name.c_str(), core));
+  return raw->id;
+}
+
+Status Sched::run() {
+  assert(!running_ && "Sched::run is not reentrant");
+  running_ = true;
+  while (!run_queue_.empty()) {
+    const TaskId id = run_queue_.front();
+    run_queue_.pop_front();
+    Task* task = find(id);
+    if (task == nullptr || task->done || task->blocked) continue;
+    current_ = id;
+    task->fiber->resume();
+    current_ = kNoTask;
+    if (task->done) {
+      --live_;
+    } else if (!task->blocked) {
+      run_queue_.push_back(id);  // yielded voluntarily
+    }
+  }
+  running_ = false;
+  if (live_ > 0) {
+    std::string who;
+    for (const auto& name : blocked_names()) {
+      if (!who.empty()) who += ", ";
+      who += name;
+    }
+    return err(Err::kState, "deadlock: blocked tasks remain: " + who);
+  }
+  return Status::ok();
+}
+
+void Sched::yield() {
+  assert(current_ != kNoTask && "yield outside a task");
+  Fiber::yield();
+}
+
+void Sched::block() {
+  Task* task = find(current_);
+  assert(task != nullptr && "block outside a task");
+  task->blocked = true;
+  Fiber::yield();
+  // When we come back, someone unblocked us.
+}
+
+void Sched::unblock(TaskId id) {
+  Task* task = find(id);
+  if (task == nullptr || task->done || !task->blocked) return;
+  task->blocked = false;
+  run_queue_.push_back(id);
+}
+
+unsigned Sched::current_core() const {
+  const Task* task = find(current_);
+  return task != nullptr ? task->core : 0;
+}
+
+bool Sched::finished(TaskId id) const {
+  const Task* task = find(id);
+  return task == nullptr || task->done;
+}
+
+const std::string& Sched::task_name(TaskId id) const {
+  static const std::string kUnknown = "<unknown>";
+  const Task* task = find(id);
+  return task != nullptr ? task->name : kUnknown;
+}
+
+std::vector<std::string> Sched::blocked_names() const {
+  std::vector<std::string> out;
+  for (const auto& task : tasks_) {
+    if (!task->done && task->blocked) out.push_back(task->name);
+  }
+  return out;
+}
+
+Sched::Task* Sched::find(TaskId id) {
+  for (auto& task : tasks_) {
+    if (task->id == id) return task.get();
+  }
+  return nullptr;
+}
+
+const Sched::Task* Sched::find(TaskId id) const {
+  return const_cast<Sched*>(this)->find(id);
+}
+
+}  // namespace mv

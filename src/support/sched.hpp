@@ -1,0 +1,78 @@
+#pragma once
+
+// Deterministic cooperative scheduler. Every simulated execution context — a
+// Linux thread in the ROS, a Nautilus thread in the HRT, a Multiverse partner
+// thread — is a Task (a fiber) multiplexed on the host thread. Tasks run
+// until they block (event-channel wait, join, ...) or yield; the scheduler is
+// strict round-robin, so every run is bit-reproducible.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/fiber.hpp"
+#include "support/result.hpp"
+
+namespace mv {
+
+using TaskId = std::uint64_t;
+inline constexpr TaskId kNoTask = 0;
+
+class Sched {
+ public:
+  Sched() = default;
+  ~Sched();
+
+  Sched(const Sched&) = delete;
+  Sched& operator=(const Sched&) = delete;
+
+  // Create a task; it becomes runnable immediately. `core` is bookkeeping
+  // used by kernels to know which simulated CPU a task occupies.
+  TaskId spawn(unsigned core, std::function<void()> fn, std::string name);
+
+  // Run tasks until everything is finished or everything is blocked.
+  // Returns kState if blocked tasks remain (deadlock) — tests assert on it.
+  Status run();
+
+  // --- called from inside tasks -------------------------------------------
+  // Cooperative reschedule: go to the back of the run queue.
+  void yield();
+  // Block the current task until some other task unblocks it.
+  void block();
+  // Make `id` runnable again (no-op if it is not blocked).
+  void unblock(TaskId id);
+
+  [[nodiscard]] TaskId current() const noexcept { return current_; }
+  [[nodiscard]] unsigned current_core() const;
+  [[nodiscard]] bool finished(TaskId id) const;
+  [[nodiscard]] std::size_t live_tasks() const noexcept { return live_; }
+  [[nodiscard]] const std::string& task_name(TaskId id) const;
+
+  // Diagnostic list of blocked task names (for deadlock reports).
+  [[nodiscard]] std::vector<std::string> blocked_names() const;
+
+ private:
+  struct Task {
+    TaskId id = kNoTask;
+    unsigned core = 0;
+    std::string name;
+    std::unique_ptr<Fiber> fiber;
+    bool blocked = false;
+    bool done = false;
+  };
+
+  Task* find(TaskId id);
+  const Task* find(TaskId id) const;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::deque<TaskId> run_queue_;
+  TaskId current_ = kNoTask;
+  TaskId next_id_ = 1;
+  std::size_t live_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace mv

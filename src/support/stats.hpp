@@ -1,0 +1,78 @@
+#pragma once
+
+// Streaming statistics accumulator + percentile sampler for microbenchmarks.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mv {
+
+class StatAcc {
+ public:
+  void add(double x) noexcept {
+    // Welford's online algorithm: numerically stable mean/variance.
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void reset() noexcept { *this = StatAcc{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Keeps every sample; supports exact percentiles. Intended for microbench
+// sample counts (thousands), not streaming telemetry.
+class SampleSet {
+ public:
+  void add(double x) { xs_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+
+  [[nodiscard]] double percentile(double p) const {
+    if (xs_.empty()) return 0.0;
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] StatAcc summarize() const {
+    StatAcc acc;
+    for (double x : xs_) acc.add(x);
+    return acc;
+  }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace mv

@@ -1,0 +1,41 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+namespace mv {
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      out += cell;
+      if (i + 1 < widths.size()) out.append(widths[i] - cell.size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  std::size_t rule = 0;
+  for (std::size_t w : widths) rule += w + 2;
+  out.append(rule > 2 ? rule - 2 : rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void Table::print(std::FILE* out) const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+}  // namespace mv

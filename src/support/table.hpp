@@ -1,0 +1,31 @@
+#pragma once
+
+// ASCII table printer: the bench harnesses print the paper's tables/figures
+// as aligned text tables.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mv {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Render aligned columns, header separated by a dashed rule.
+  [[nodiscard]] std::string render() const;
+
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mv

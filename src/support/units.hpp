@@ -1,0 +1,35 @@
+#pragma once
+
+// Virtual-time units. The whole simulation is accounted in CPU cycles of the
+// paper's evaluation machine (AMD Opteron 4122 @ 2.2 GHz); helpers convert to
+// wall-clock for reporting.
+
+#include <cstdint>
+
+namespace mv {
+
+using Cycles = std::uint64_t;
+
+inline constexpr double kClockGhz = 2.2;  // paper's evaluation machine
+
+inline constexpr double cycles_to_ns(Cycles c) noexcept {
+  return static_cast<double>(c) / kClockGhz;
+}
+
+inline constexpr double cycles_to_us(Cycles c) noexcept {
+  return cycles_to_ns(c) / 1e3;
+}
+
+inline constexpr double cycles_to_seconds(Cycles c) noexcept {
+  return cycles_to_ns(c) / 1e9;
+}
+
+inline constexpr Cycles ns_to_cycles(double ns) noexcept {
+  return static_cast<Cycles>(ns * kClockGhz);
+}
+
+inline constexpr Cycles us_to_cycles(double us) noexcept {
+  return ns_to_cycles(us * 1e3);
+}
+
+}  // namespace mv

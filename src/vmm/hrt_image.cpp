@@ -1,0 +1,165 @@
+#include "vmm/hrt_image.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mv::vmm {
+namespace {
+
+// Little serialization cursor helpers.
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> blob) : blob_(blob) {}
+
+  Result<std::uint32_t> u32() {
+    if (pos_ + 4 > blob_.size()) return err(Err::kParse, "truncated u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{blob_[pos_ + i]} << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  Result<std::uint64_t> u64() {
+    if (pos_ + 8 > blob_.size()) return err(Err::kParse, "truncated u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{blob_[pos_ + i]} << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  Result<std::string> str() {
+    MV_ASSIGN_OR_RETURN(const std::uint32_t len, u32());
+    if (pos_ + len > blob_.size()) return err(Err::kParse, "truncated string");
+    std::string s(reinterpret_cast<const char*>(blob_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  Result<std::vector<std::uint8_t>> bytes(std::uint64_t len) {
+    if (pos_ + len > blob_.size()) return err(Err::kParse, "truncated bytes");
+    std::vector<std::uint8_t> out(blob_.begin() + static_cast<long>(pos_),
+                                  blob_.begin() + static_cast<long>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+ private:
+  std::span<const std::uint8_t> blob_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t HrtImage::load_span() const noexcept {
+  std::uint64_t end = 0;
+  for (const auto& s : sections_) {
+    end = std::max(end, s.load_offset + s.bytes.size());
+  }
+  return end;
+}
+
+std::optional<std::uint64_t> HrtImage::find_symbol(
+    std::string_view name) const {
+  for (const auto& sym : symbols_) {
+    if (sym.name == name) return sym.offset;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> HrtImage::serialize() const {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u64(out, entry_);
+  put_u32(out, static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& s : sections_) {
+    put_str(out, s.name);
+    put_u64(out, s.load_offset);
+    put_u64(out, s.bytes.size());
+    out.insert(out.end(), s.bytes.begin(), s.bytes.end());
+  }
+  put_u32(out, static_cast<std::uint32_t>(symbols_.size()));
+  for (const auto& sym : symbols_) {
+    put_str(out, sym.name);
+    put_u64(out, sym.offset);
+  }
+  return out;
+}
+
+Result<HrtImage> HrtImage::parse(std::span<const std::uint8_t> blob) {
+  Cursor cur(blob);
+  MV_ASSIGN_OR_RETURN(const std::uint32_t magic, cur.u32());
+  if (magic != kMagic) return err(Err::kParse, "bad HRT image magic");
+  MV_ASSIGN_OR_RETURN(const std::uint32_t version, cur.u32());
+  if (version != kVersion) return err(Err::kParse, "bad HRT image version");
+
+  HrtImage image;
+  MV_ASSIGN_OR_RETURN(image.entry_, cur.u64());
+  MV_ASSIGN_OR_RETURN(const std::uint32_t nsec, cur.u32());
+  if (nsec > 256) return err(Err::kParse, "implausible section count");
+  for (std::uint32_t i = 0; i < nsec; ++i) {
+    HrtSection sec;
+    MV_ASSIGN_OR_RETURN(sec.name, cur.str());
+    MV_ASSIGN_OR_RETURN(sec.load_offset, cur.u64());
+    MV_ASSIGN_OR_RETURN(const std::uint64_t len, cur.u64());
+    if (len > (64ull << 20)) return err(Err::kParse, "implausible section");
+    MV_ASSIGN_OR_RETURN(sec.bytes, cur.bytes(len));
+    image.sections_.push_back(std::move(sec));
+  }
+  MV_ASSIGN_OR_RETURN(const std::uint32_t nsym, cur.u32());
+  if (nsym > 65536) return err(Err::kParse, "implausible symbol count");
+  for (std::uint32_t i = 0; i < nsym; ++i) {
+    HrtSymbol sym;
+    MV_ASSIGN_OR_RETURN(sym.name, cur.str());
+    MV_ASSIGN_OR_RETURN(sym.offset, cur.u64());
+    image.symbols_.push_back(std::move(sym));
+  }
+  return image;
+}
+
+HrtImage HrtImageBuilder::default_nautilus_image() {
+  HrtImageBuilder b;
+  // Synthetic .text/.data payloads: the simulated kernel's behaviour is bound
+  // at runtime via the symbol registry, but the image still carries bytes so
+  // installation, bounds checks, and boot parsing are exercised for real.
+  std::vector<std::uint8_t> text(48 * 1024);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    text[i] = static_cast<std::uint8_t>(0x90 ^ (i & 0xff));  // NOP sled motif
+  }
+  std::vector<std::uint8_t> data(8 * 1024, 0);
+  std::vector<std::uint8_t> rodata;
+  const char banner[] = "Nautilus AeroKernel (Multiverse hybrid image)";
+  rodata.assign(banner, banner + sizeof(banner));
+
+  b.add_section(".text", 0x0, std::move(text));
+  b.add_section(".rodata", 0x10000, std::move(rodata));
+  b.add_section(".data", 0x12000, std::move(data));
+  b.set_entry(0x40);
+
+  // Kernel entry points the Multiverse override layer can bind to. Offsets
+  // are arbitrary but unique: they become HRT virtual addresses after load.
+  const char* const kSymbols[] = {
+      "nk_thread_create", "nk_thread_join",   "nk_thread_exit",
+      "nk_thread_fork",   "nk_event_wait",    "nk_event_signal",
+      "nk_mmap",          "nk_munmap",        "nk_mprotect",
+      "nk_sigaction",     "nk_gettimeofday",  "nk_getrusage",
+      "nk_poll_stub",     "aerokernel_func",  "nk_malloc",
+      "nk_free",          "nk_rand",          "nk_counter_read",
+  };
+  std::uint64_t off = 0x100;
+  for (const char* name : kSymbols) {
+    b.add_symbol(name, off);
+    off += 0x80;
+  }
+  return b.build();
+}
+
+}  // namespace mv::vmm

@@ -1,0 +1,88 @@
+#pragma once
+
+// The AeroKernel binary image format. The Multiverse toolchain embeds one of
+// these into the application's fat binary; at startup the Multiverse runtime
+// parses it back out and asks the HVM to install it in HRT physical memory.
+// The format is a simplified ELF: sections with load offsets plus a symbol
+// table (symbols are what AeroKernel overrides resolve against).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace mv::vmm {
+
+struct HrtSection {
+  std::string name;            // ".text", ".data", ...
+  std::uint64_t load_offset;   // offset from the image load base
+  std::vector<std::uint8_t> bytes;
+};
+
+struct HrtSymbol {
+  std::string name;
+  std::uint64_t offset;  // from image load base
+};
+
+class HrtImage {
+ public:
+  static constexpr std::uint32_t kMagic = 0x5452484e;  // "NHRT"
+  static constexpr std::uint32_t kVersion = 1;
+
+  [[nodiscard]] const std::vector<HrtSection>& sections() const noexcept {
+    return sections_;
+  }
+  [[nodiscard]] const std::vector<HrtSymbol>& symbols() const noexcept {
+    return symbols_;
+  }
+  [[nodiscard]] std::uint64_t entry_offset() const noexcept { return entry_; }
+
+  // Total bytes of address space the loaded image spans.
+  [[nodiscard]] std::uint64_t load_span() const noexcept;
+
+  [[nodiscard]] std::optional<std::uint64_t> find_symbol(
+      std::string_view name) const;
+
+  // Serialize to the on-disk/fat-binary representation.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  // Parse an embedded image; validates magic, version, and bounds.
+  static Result<HrtImage> parse(std::span<const std::uint8_t> blob);
+
+ private:
+  friend class HrtImageBuilder;
+  std::uint64_t entry_ = 0;
+  std::vector<HrtSection> sections_;
+  std::vector<HrtSymbol> symbols_;
+};
+
+class HrtImageBuilder {
+ public:
+  HrtImageBuilder& set_entry(std::uint64_t offset) {
+    image_.entry_ = offset;
+    return *this;
+  }
+  HrtImageBuilder& add_section(std::string name, std::uint64_t load_offset,
+                               std::vector<std::uint8_t> bytes) {
+    image_.sections_.push_back(
+        HrtSection{std::move(name), load_offset, std::move(bytes)});
+    return *this;
+  }
+  HrtImageBuilder& add_symbol(std::string name, std::uint64_t offset) {
+    image_.symbols_.push_back(HrtSymbol{std::move(name), offset});
+    return *this;
+  }
+  [[nodiscard]] HrtImage build() const { return image_; }
+
+  // A canonical small AeroKernel image with the symbols the default override
+  // table expects. Used by the toolchain when no custom kernel is supplied.
+  static HrtImage default_nautilus_image();
+
+ private:
+  HrtImage image_;
+};
+
+}  // namespace mv::vmm

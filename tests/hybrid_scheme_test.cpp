@@ -1,0 +1,233 @@
+// End-to-end tests of the hybridized Vessel runtime: the paper's actual
+// demonstration (Racket under Multiverse), at test problem sizes. Asserts
+// the user-identity property, the fault-trace equivalence property, GC write
+// barriers crossing the event channel, and the override-based porting path —
+// all with the complete Scheme engine in the HRT.
+
+#include <gtest/gtest.h>
+
+#include "multiverse/system.hpp"
+#include "runtime/scheme/engine.hpp"
+#include "runtime/scheme/programs.hpp"
+
+namespace mv::multiverse {
+namespace {
+
+std::function<int(ros::SysIface&)> engine_guest(std::string src) {
+  return [src = std::move(src)](ros::SysIface& sys) {
+    return scheme::vessel_main(sys, src, /*use_launcher_thread=*/false);
+  };
+}
+
+Result<ProgramResult> run_mode(bool hybrid, const std::string& src,
+                               const std::string& overrides = "") {
+  SystemConfig cfg;
+  cfg.virtualized = hybrid;
+  cfg.extra_override_config = overrides;
+  HybridSystem system(cfg);
+  MV_RETURN_IF_ERROR(scheme::install_boot_files(system.linux().fs()));
+  return hybrid ? system.run_hybrid("vessel", engine_guest(src))
+                : system.run("vessel", engine_guest(src));
+}
+
+TEST(HybridSchemeTest, HelloIdenticalAcrossModes) {
+  const std::string src = "(display \"hello from scheme\") (newline)";
+  auto native = run_mode(false, src);
+  auto hybrid = run_mode(true, src);
+  ASSERT_TRUE(native.is_ok());
+  ASSERT_TRUE(hybrid.is_ok());
+  EXPECT_EQ(native->exit_code, 0);
+  EXPECT_EQ(hybrid->exit_code, 0);
+  EXPECT_EQ(native->stdout_text, hybrid->stdout_text);
+  EXPECT_GT(hybrid->forwarded_syscalls, 0u);
+}
+
+// The hybridized engine's startup still loads collections, installs signal
+// handlers, premaps the heap — all forwarded.
+TEST(HybridSchemeTest, HybridStartupProfileForwarded) {
+  auto r = run_mode(true, "1");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_GT(r->syscall_histogram["mmap"], 20u);
+  EXPECT_GE(r->syscall_histogram["open"], 5u);
+  EXPECT_GE(r->syscall_histogram["rt_sigaction"], 2u);
+  EXPECT_GE(r->syscall_histogram["setitimer"], 1u);
+  EXPECT_GT(r->forwarded_syscalls, 30u);
+}
+
+// Every Language Benchmarks Game program produces byte-identical output
+// hybridized vs native, and the page-fault trace matches (the paper's §4.4
+// requirement, at whole-program scale).
+class HybridBenchmarkTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridBenchmarkTest, OutputAndFaultTraceMatchNative) {
+  const auto b = static_cast<scheme::Bench>(GetParam());
+  const std::string src =
+      scheme::benchmark_source(b, scheme::benchmark_test_size(b));
+  auto native = run_mode(false, src);
+  auto hybrid = run_mode(true, src);
+  ASSERT_TRUE(native.is_ok()) << native.status().to_string();
+  ASSERT_TRUE(hybrid.is_ok()) << hybrid.status().to_string();
+  EXPECT_EQ(native->exit_code, 0) << scheme::benchmark_name(b);
+  EXPECT_EQ(hybrid->exit_code, 0) << scheme::benchmark_name(b);
+  EXPECT_EQ(native->stdout_text, hybrid->stdout_text)
+      << scheme::benchmark_name(b);
+  EXPECT_FALSE(native->stdout_text.empty());
+  // Fault-trace equivalence: same demand-paging and COW behaviour.
+  EXPECT_EQ(native->minor_faults, hybrid->minor_faults)
+      << scheme::benchmark_name(b);
+  EXPECT_EQ(native->major_faults, hybrid->major_faults)
+      << scheme::benchmark_name(b);
+  // And the interactions were really forwarded.
+  EXPECT_GT(hybrid->forwarded_syscalls, 10u);
+  EXPECT_GT(hybrid->forwarded_faults, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, HybridBenchmarkTest,
+                         ::testing::Range(0, scheme::kBenchCount),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           std::string name = scheme::benchmark_name(
+                               static_cast<scheme::Bench>(param_info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// GC write barriers under hybridization: the HRT writes to a protected
+// chunk, the fault forwards, the ROS replays it, SIGSEGV reaches the GC's
+// handler, mprotect re-opens the chunk, and the HRT's write retries fine.
+TEST(HybridSchemeTest, GcWriteBarriersCrossTheChannel) {
+  SystemConfig cfg;
+  HybridSystem system(cfg);
+  ASSERT_TRUE(scheme::install_boot_files(system.linux().fs()).is_ok());
+  std::uint64_t barrier_hits = 0;
+  auto r = system.run_hybrid("gc-barrier", [&](ros::SysIface& sys) {
+    scheme::Engine::Config ec;
+    ec.heap.gc_allocation_trigger = 3000;
+    scheme::Engine engine(sys, ec);
+    if (!engine.init().is_ok()) return 70;
+    auto rr = engine.eval_string(
+        "(define old (make-vector 2000 0))"
+        "(let churn ((n 8000)) (if (= n 0) 'ok (begin (cons n n) "
+        "(churn (- n 1)))))"
+        "(vector-set! old 7 'poked)"
+        "(vector-ref old 7)");
+    barrier_hits = engine.heap().stats().barrier_hits;
+    return rr.is_ok() && engine.to_display(*rr) == "poked" ? 0 : 1;
+  });
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r->exit_code, 0);
+  EXPECT_GT(barrier_hits, 0u);
+  EXPECT_GE(r->signals_delivered, 1u);
+  EXPECT_GE(r->syscall_histogram["rt_sigreturn"], 1u);
+}
+
+// Overriding the GC's memory hot path keeps the program byte-identical while
+// removing the mmap traffic from the ROS.
+TEST(HybridSchemeTest, MemopOverridesPreserveBehaviour) {
+  const std::string src = scheme::benchmark_source(
+      scheme::Bench::kBinaryTrees,
+      scheme::benchmark_test_size(scheme::Bench::kBinaryTrees));
+  auto plain = run_mode(true, src);
+  auto ported = run_mode(true, src,
+                         "override mmap nk_mmap\n"
+                         "override munmap nk_munmap\n"
+                         "override mprotect nk_mprotect\n");
+  ASSERT_TRUE(plain.is_ok());
+  ASSERT_TRUE(ported.is_ok());
+  EXPECT_EQ(plain->stdout_text, ported->stdout_text);
+  EXPECT_LT(ported->syscall_histogram["mmap"],
+            plain->syscall_histogram["mmap"] / 4 + 2);
+  EXPECT_LT(ported->forwarded_syscalls, plain->forwarded_syscalls);
+}
+
+// The hybridized REPL behaves identically (the paper's "interactive REPL
+// environment ... precisely the same interface").
+TEST(HybridSchemeTest, ReplIdenticalHybridized) {
+  const char kSession[] =
+      "(+ 40 2)\n(define v (make-vector 3 'x)) (vector-ref v 1)\n,exit\n";
+  auto run_repl = [&](bool hybrid) -> std::string {
+    SystemConfig cfg;
+    cfg.virtualized = hybrid;
+    HybridSystem system(cfg);
+    (void)scheme::install_boot_files(system.linux().fs());
+    auto guest = [](ros::SysIface& sys) {
+      return scheme::vessel_main(sys, "", false);
+    };
+    // Spawn by hand so stdin can be staged before running.
+    Result<ros::Process*> proc =
+        hybrid ? [&]() -> Result<ros::Process*> {
+          ros::LinuxSim* kernel = &system.linux();
+          MultiverseRuntime* rt = &system.runtime();
+          const std::vector<std::uint8_t>* fat = &system.fat_binary();
+          return kernel->spawn("repl", [kernel, rt, fat,
+                                        guest](ros::SysIface&) -> int {
+            ros::Thread* self = kernel->current_thread();
+            if (!rt->startup(*self, *fat).is_ok()) return 127;
+            int code = 0;
+            (void)rt->hrt_invoke_func(*self, [&code, guest](ros::SysIface& h) {
+              code = guest(h);
+            });
+            (void)rt->shutdown();
+            return code;
+          });
+        }()
+               : system.linux().spawn("repl", guest);
+    if (!proc.is_ok()) return "spawn failed";
+    (*proc)->stdin_text = kSession;
+    if (!system.linux().run_all().is_ok()) return "run failed";
+    return (*proc)->stdout_text;
+  };
+  const std::string native = run_repl(false);
+  const std::string hybrid = run_repl(true);
+  EXPECT_EQ(native, hybrid);
+  EXPECT_NE(native.find("42"), std::string::npos);
+  EXPECT_NE(native.find("x"), std::string::npos);
+}
+
+// Multiverse mode is slower than native for the same program — the paper's
+// Fig 13 ordering — and the overhead is attributable to forwarded events.
+TEST(HybridSchemeTest, HybridPaysForwardingCost) {
+  const std::string src = scheme::benchmark_source(
+      scheme::Bench::kBinaryTrees,
+      scheme::benchmark_test_size(scheme::Bench::kBinaryTrees));
+  auto native = run_mode(false, src);
+  auto hybrid = run_mode(true, src);
+  ASSERT_TRUE(native.is_ok());
+  ASSERT_TRUE(hybrid.is_ok());
+  EXPECT_GT(hybrid->elapsed_s, native->elapsed_s);
+  // The gap is within the budget implied by (interactions x async RTT).
+  const double budget_s =
+      cycles_to_seconds((hybrid->forwarded_syscalls +
+                         hybrid->forwarded_faults + 10) *
+                        (hw::costs().async_call_roundtrip() + 3000));
+  EXPECT_LT(hybrid->elapsed_s - native->elapsed_s, budget_s * 1.5 + 0.01);
+}
+
+// The paper's incremental-model parallelism: Scheme-level threads map to
+// pthreads, which Multiverse's default overrides map to nested AeroKernel
+// threads — no extra ROS clones beyond the one partner.
+TEST(HybridSchemeTest, SchemeThreadsBecomeAeroKernelThreads) {
+  const std::string src =
+      "(define v (make-vector 4 0))"
+      "(define ts (map (lambda (i)"
+      "                  (spawn-thread (lambda ()"
+      "                    (thread-yield)"
+      "                    (vector-set! v i (+ i 10)))))"
+      "                '(0 1 2 3)))"
+      "(for-each thread-join ts)"
+      "(display v) (newline)";
+  auto native = run_mode(false, src);
+  auto hybrid = run_mode(true, src);
+  ASSERT_TRUE(native.is_ok());
+  ASSERT_TRUE(hybrid.is_ok()) << hybrid.status().to_string();
+  EXPECT_EQ(native->stdout_text, "#(10 11 12 13)\n");
+  EXPECT_EQ(hybrid->stdout_text, native->stdout_text);
+  // Natively: 4 clones. Hybridized: only the partner's clone — the four
+  // interpreter threads live in the AeroKernel.
+  EXPECT_GE(native->syscall_histogram["clone"], 4u);
+  EXPECT_EQ(hybrid->syscall_histogram["clone"], 1u);
+}
+
+}  // namespace
+}  // namespace mv::multiverse
