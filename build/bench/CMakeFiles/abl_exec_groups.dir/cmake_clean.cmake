@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_exec_groups.dir/abl_exec_groups.cpp.o"
+  "CMakeFiles/abl_exec_groups.dir/abl_exec_groups.cpp.o.d"
+  "abl_exec_groups"
+  "abl_exec_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_exec_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

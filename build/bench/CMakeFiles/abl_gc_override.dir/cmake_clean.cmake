@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gc_override.dir/abl_gc_override.cpp.o"
+  "CMakeFiles/abl_gc_override.dir/abl_gc_override.cpp.o.d"
+  "abl_gc_override"
+  "abl_gc_override.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gc_override.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_symbol_cache.dir/abl_symbol_cache.cpp.o"
+  "CMakeFiles/abl_symbol_cache.dir/abl_symbol_cache.cpp.o.d"
+  "abl_symbol_cache"
+  "abl_symbol_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_symbol_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

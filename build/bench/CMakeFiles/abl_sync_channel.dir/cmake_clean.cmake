@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sync_channel.dir/abl_sync_channel.cpp.o"
+  "CMakeFiles/abl_sync_channel.dir/abl_sync_channel.cpp.o.d"
+  "abl_sync_channel"
+  "abl_sync_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sync_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hpcg.dir/ext_hpcg.cpp.o"
+  "CMakeFiles/ext_hpcg.dir/ext_hpcg.cpp.o.d"
+  "ext_hpcg"
+  "ext_hpcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hpcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_three_runtimes.dir/ext_three_runtimes.cpp.o"
+  "CMakeFiles/ext_three_runtimes.dir/ext_three_runtimes.cpp.o.d"
+  "ext_three_runtimes"
+  "ext_three_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_three_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_roundtrips.dir/fig02_roundtrips.cpp.o"
+  "CMakeFiles/fig02_roundtrips.dir/fig02_roundtrips.cpp.o.d"
+  "fig02_roundtrips"
+  "fig02_roundtrips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_roundtrips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

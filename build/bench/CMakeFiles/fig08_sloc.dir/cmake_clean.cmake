@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sloc.dir/fig08_sloc.cpp.o"
+  "CMakeFiles/fig08_sloc.dir/fig08_sloc.cpp.o.d"
+  "fig08_sloc"
+  "fig08_sloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_startup_syscalls.dir/fig11_startup_syscalls.cpp.o"
+  "CMakeFiles/fig11_startup_syscalls.dir/fig11_startup_syscalls.cpp.o.d"
+  "fig11_startup_syscalls"
+  "fig11_startup_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_startup_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bintree_syscalls.dir/fig12_bintree_syscalls.cpp.o"
+  "CMakeFiles/fig12_bintree_syscalls.dir/fig12_bintree_syscalls.cpp.o.d"
+  "fig12_bintree_syscalls"
+  "fig12_bintree_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bintree_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_racket_modes.dir/fig13_racket_modes.cpp.o"
+  "CMakeFiles/fig13_racket_modes.dir/fig13_racket_modes.cpp.o.d"
+  "fig13_racket_modes"
+  "fig13_racket_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_racket_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

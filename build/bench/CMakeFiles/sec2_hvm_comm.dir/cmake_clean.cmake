@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_hvm_comm.dir/sec2_hvm_comm.cpp.o"
+  "CMakeFiles/sec2_hvm_comm.dir/sec2_hvm_comm.cpp.o.d"
+  "sec2_hvm_comm"
+  "sec2_hvm_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_hvm_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

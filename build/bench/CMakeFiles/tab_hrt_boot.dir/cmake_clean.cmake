@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_hrt_boot.dir/tab_hrt_boot.cpp.o"
+  "CMakeFiles/tab_hrt_boot.dir/tab_hrt_boot.cpp.o.d"
+  "tab_hrt_boot"
+  "tab_hrt_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_hrt_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_thread_prims.dir/tab_thread_prims.cpp.o"
+  "CMakeFiles/tab_thread_prims.dir/tab_thread_prims.cpp.o.d"
+  "tab_thread_prims"
+  "tab_thread_prims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_thread_prims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_thread_prims.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_port.dir/incremental_port.cpp.o"
+  "CMakeFiles/incremental_port.dir/incremental_port.cpp.o.d"
+  "incremental_port"
+  "incremental_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvtrace.dir/mvtrace.cpp.o"
+  "CMakeFiles/mvtrace.dir/mvtrace.cpp.o.d"
+  "mvtrace"
+  "mvtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

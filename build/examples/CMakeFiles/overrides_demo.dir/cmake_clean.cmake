@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overrides_demo.dir/overrides_demo.cpp.o"
+  "CMakeFiles/overrides_demo.dir/overrides_demo.cpp.o.d"
+  "overrides_demo"
+  "overrides_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overrides_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

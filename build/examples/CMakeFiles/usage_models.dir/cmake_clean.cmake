@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_models.dir/usage_models.cpp.o"
+  "CMakeFiles/usage_models.dir/usage_models.cpp.o.d"
+  "usage_models"
+  "usage_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vessel_repl.dir/vessel_repl.cpp.o"
+  "CMakeFiles/vessel_repl.dir/vessel_repl.cpp.o.d"
+  "vessel_repl"
+  "vessel_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vessel_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("hw")
+subdirs("vmm")
+subdirs("ros")
+subdirs("aerokernel")
+subdirs("multiverse")
+subdirs("runtime/scheme")
+subdirs("runtime/vcode")
+subdirs("runtime/ndp")
+subdirs("runtime/taskpar")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_aerokernel.dir/nautilus.cpp.o"
+  "CMakeFiles/mv_aerokernel.dir/nautilus.cpp.o.d"
+  "CMakeFiles/mv_aerokernel.dir/symbols.cpp.o"
+  "CMakeFiles/mv_aerokernel.dir/symbols.cpp.o.d"
+  "libmv_aerokernel.a"
+  "libmv_aerokernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_aerokernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/core.cpp" "src/hw/CMakeFiles/mv_hw.dir/core.cpp.o" "gcc" "src/hw/CMakeFiles/mv_hw.dir/core.cpp.o.d"
+  "/root/repo/src/hw/costs.cpp" "src/hw/CMakeFiles/mv_hw.dir/costs.cpp.o" "gcc" "src/hw/CMakeFiles/mv_hw.dir/costs.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/hw/CMakeFiles/mv_hw.dir/machine.cpp.o" "gcc" "src/hw/CMakeFiles/mv_hw.dir/machine.cpp.o.d"
+  "/root/repo/src/hw/paging.cpp" "src/hw/CMakeFiles/mv_hw.dir/paging.cpp.o" "gcc" "src/hw/CMakeFiles/mv_hw.dir/paging.cpp.o.d"
+  "/root/repo/src/hw/phys_mem.cpp" "src/hw/CMakeFiles/mv_hw.dir/phys_mem.cpp.o" "gcc" "src/hw/CMakeFiles/mv_hw.dir/phys_mem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

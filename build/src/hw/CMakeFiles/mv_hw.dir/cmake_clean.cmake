@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_hw.dir/core.cpp.o"
+  "CMakeFiles/mv_hw.dir/core.cpp.o.d"
+  "CMakeFiles/mv_hw.dir/costs.cpp.o"
+  "CMakeFiles/mv_hw.dir/costs.cpp.o.d"
+  "CMakeFiles/mv_hw.dir/machine.cpp.o"
+  "CMakeFiles/mv_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/mv_hw.dir/paging.cpp.o"
+  "CMakeFiles/mv_hw.dir/paging.cpp.o.d"
+  "CMakeFiles/mv_hw.dir/phys_mem.cpp.o"
+  "CMakeFiles/mv_hw.dir/phys_mem.cpp.o.d"
+  "libmv_hw.a"
+  "libmv_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multiverse/config.cpp" "src/multiverse/CMakeFiles/mv_multiverse.dir/config.cpp.o" "gcc" "src/multiverse/CMakeFiles/mv_multiverse.dir/config.cpp.o.d"
+  "/root/repo/src/multiverse/event_channel.cpp" "src/multiverse/CMakeFiles/mv_multiverse.dir/event_channel.cpp.o" "gcc" "src/multiverse/CMakeFiles/mv_multiverse.dir/event_channel.cpp.o.d"
+  "/root/repo/src/multiverse/runtime.cpp" "src/multiverse/CMakeFiles/mv_multiverse.dir/runtime.cpp.o" "gcc" "src/multiverse/CMakeFiles/mv_multiverse.dir/runtime.cpp.o.d"
+  "/root/repo/src/multiverse/system.cpp" "src/multiverse/CMakeFiles/mv_multiverse.dir/system.cpp.o" "gcc" "src/multiverse/CMakeFiles/mv_multiverse.dir/system.cpp.o.d"
+  "/root/repo/src/multiverse/toolchain.cpp" "src/multiverse/CMakeFiles/mv_multiverse.dir/toolchain.cpp.o" "gcc" "src/multiverse/CMakeFiles/mv_multiverse.dir/toolchain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aerokernel/CMakeFiles/mv_aerokernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ros/CMakeFiles/mv_ros.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/mv_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mv_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

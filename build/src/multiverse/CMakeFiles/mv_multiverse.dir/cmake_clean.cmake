@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_multiverse.dir/config.cpp.o"
+  "CMakeFiles/mv_multiverse.dir/config.cpp.o.d"
+  "CMakeFiles/mv_multiverse.dir/event_channel.cpp.o"
+  "CMakeFiles/mv_multiverse.dir/event_channel.cpp.o.d"
+  "CMakeFiles/mv_multiverse.dir/runtime.cpp.o"
+  "CMakeFiles/mv_multiverse.dir/runtime.cpp.o.d"
+  "CMakeFiles/mv_multiverse.dir/system.cpp.o"
+  "CMakeFiles/mv_multiverse.dir/system.cpp.o.d"
+  "CMakeFiles/mv_multiverse.dir/toolchain.cpp.o"
+  "CMakeFiles/mv_multiverse.dir/toolchain.cpp.o.d"
+  "libmv_multiverse.a"
+  "libmv_multiverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_multiverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ros/address_space.cpp" "src/ros/CMakeFiles/mv_ros.dir/address_space.cpp.o" "gcc" "src/ros/CMakeFiles/mv_ros.dir/address_space.cpp.o.d"
+  "/root/repo/src/ros/fs.cpp" "src/ros/CMakeFiles/mv_ros.dir/fs.cpp.o" "gcc" "src/ros/CMakeFiles/mv_ros.dir/fs.cpp.o.d"
+  "/root/repo/src/ros/guest.cpp" "src/ros/CMakeFiles/mv_ros.dir/guest.cpp.o" "gcc" "src/ros/CMakeFiles/mv_ros.dir/guest.cpp.o.d"
+  "/root/repo/src/ros/linux.cpp" "src/ros/CMakeFiles/mv_ros.dir/linux.cpp.o" "gcc" "src/ros/CMakeFiles/mv_ros.dir/linux.cpp.o.d"
+  "/root/repo/src/ros/syscalls.cpp" "src/ros/CMakeFiles/mv_ros.dir/syscalls.cpp.o" "gcc" "src/ros/CMakeFiles/mv_ros.dir/syscalls.cpp.o.d"
+  "/root/repo/src/ros/types.cpp" "src/ros/CMakeFiles/mv_ros.dir/types.cpp.o" "gcc" "src/ros/CMakeFiles/mv_ros.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/mv_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_ros.dir/address_space.cpp.o"
+  "CMakeFiles/mv_ros.dir/address_space.cpp.o.d"
+  "CMakeFiles/mv_ros.dir/fs.cpp.o"
+  "CMakeFiles/mv_ros.dir/fs.cpp.o.d"
+  "CMakeFiles/mv_ros.dir/guest.cpp.o"
+  "CMakeFiles/mv_ros.dir/guest.cpp.o.d"
+  "CMakeFiles/mv_ros.dir/linux.cpp.o"
+  "CMakeFiles/mv_ros.dir/linux.cpp.o.d"
+  "CMakeFiles/mv_ros.dir/syscalls.cpp.o"
+  "CMakeFiles/mv_ros.dir/syscalls.cpp.o.d"
+  "CMakeFiles/mv_ros.dir/types.cpp.o"
+  "CMakeFiles/mv_ros.dir/types.cpp.o.d"
+  "libmv_ros.a"
+  "libmv_ros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_ros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_ndp.dir/ndp.cpp.o"
+  "CMakeFiles/mv_ndp.dir/ndp.cpp.o.d"
+  "libmv_ndp.a"
+  "libmv_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/scheme/builtins.cpp" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/builtins.cpp.o" "gcc" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/builtins.cpp.o.d"
+  "/root/repo/src/runtime/scheme/engine.cpp" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/engine.cpp.o" "gcc" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/engine.cpp.o.d"
+  "/root/repo/src/runtime/scheme/eval.cpp" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/eval.cpp.o" "gcc" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/eval.cpp.o.d"
+  "/root/repo/src/runtime/scheme/gc.cpp" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/gc.cpp.o" "gcc" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/gc.cpp.o.d"
+  "/root/repo/src/runtime/scheme/programs.cpp" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/programs.cpp.o" "gcc" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/programs.cpp.o.d"
+  "/root/repo/src/runtime/scheme/reader.cpp" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/reader.cpp.o" "gcc" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/reader.cpp.o.d"
+  "/root/repo/src/runtime/scheme/value.cpp" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/value.cpp.o" "gcc" "src/runtime/scheme/CMakeFiles/mv_scheme.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ros/CMakeFiles/mv_ros.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mv_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

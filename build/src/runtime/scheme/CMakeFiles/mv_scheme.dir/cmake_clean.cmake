@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_scheme.dir/builtins.cpp.o"
+  "CMakeFiles/mv_scheme.dir/builtins.cpp.o.d"
+  "CMakeFiles/mv_scheme.dir/engine.cpp.o"
+  "CMakeFiles/mv_scheme.dir/engine.cpp.o.d"
+  "CMakeFiles/mv_scheme.dir/eval.cpp.o"
+  "CMakeFiles/mv_scheme.dir/eval.cpp.o.d"
+  "CMakeFiles/mv_scheme.dir/gc.cpp.o"
+  "CMakeFiles/mv_scheme.dir/gc.cpp.o.d"
+  "CMakeFiles/mv_scheme.dir/programs.cpp.o"
+  "CMakeFiles/mv_scheme.dir/programs.cpp.o.d"
+  "CMakeFiles/mv_scheme.dir/reader.cpp.o"
+  "CMakeFiles/mv_scheme.dir/reader.cpp.o.d"
+  "CMakeFiles/mv_scheme.dir/value.cpp.o"
+  "CMakeFiles/mv_scheme.dir/value.cpp.o.d"
+  "libmv_scheme.a"
+  "libmv_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

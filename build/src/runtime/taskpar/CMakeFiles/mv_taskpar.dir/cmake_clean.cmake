@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_taskpar.dir/hpcg.cpp.o"
+  "CMakeFiles/mv_taskpar.dir/hpcg.cpp.o.d"
+  "CMakeFiles/mv_taskpar.dir/tributary.cpp.o"
+  "CMakeFiles/mv_taskpar.dir/tributary.cpp.o.d"
+  "libmv_taskpar.a"
+  "libmv_taskpar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_taskpar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

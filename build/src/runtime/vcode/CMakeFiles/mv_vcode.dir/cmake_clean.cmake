@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_vcode.dir/vcode.cpp.o"
+  "CMakeFiles/mv_vcode.dir/vcode.cpp.o.d"
+  "libmv_vcode.a"
+  "libmv_vcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_vcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/fiber.cpp" "src/support/CMakeFiles/mv_support.dir/fiber.cpp.o" "gcc" "src/support/CMakeFiles/mv_support.dir/fiber.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/support/CMakeFiles/mv_support.dir/log.cpp.o" "gcc" "src/support/CMakeFiles/mv_support.dir/log.cpp.o.d"
+  "/root/repo/src/support/result.cpp" "src/support/CMakeFiles/mv_support.dir/result.cpp.o" "gcc" "src/support/CMakeFiles/mv_support.dir/result.cpp.o.d"
+  "/root/repo/src/support/sched.cpp" "src/support/CMakeFiles/mv_support.dir/sched.cpp.o" "gcc" "src/support/CMakeFiles/mv_support.dir/sched.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/support/CMakeFiles/mv_support.dir/strings.cpp.o" "gcc" "src/support/CMakeFiles/mv_support.dir/strings.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/mv_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/mv_support.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_support.dir/fiber.cpp.o"
+  "CMakeFiles/mv_support.dir/fiber.cpp.o.d"
+  "CMakeFiles/mv_support.dir/log.cpp.o"
+  "CMakeFiles/mv_support.dir/log.cpp.o.d"
+  "CMakeFiles/mv_support.dir/result.cpp.o"
+  "CMakeFiles/mv_support.dir/result.cpp.o.d"
+  "CMakeFiles/mv_support.dir/sched.cpp.o"
+  "CMakeFiles/mv_support.dir/sched.cpp.o.d"
+  "CMakeFiles/mv_support.dir/strings.cpp.o"
+  "CMakeFiles/mv_support.dir/strings.cpp.o.d"
+  "CMakeFiles/mv_support.dir/table.cpp.o"
+  "CMakeFiles/mv_support.dir/table.cpp.o.d"
+  "libmv_support.a"
+  "libmv_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

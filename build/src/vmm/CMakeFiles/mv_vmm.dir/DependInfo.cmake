@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/hrt_image.cpp" "src/vmm/CMakeFiles/mv_vmm.dir/hrt_image.cpp.o" "gcc" "src/vmm/CMakeFiles/mv_vmm.dir/hrt_image.cpp.o.d"
+  "/root/repo/src/vmm/hvm.cpp" "src/vmm/CMakeFiles/mv_vmm.dir/hvm.cpp.o" "gcc" "src/vmm/CMakeFiles/mv_vmm.dir/hvm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/mv_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_vmm.dir/hrt_image.cpp.o"
+  "CMakeFiles/mv_vmm.dir/hrt_image.cpp.o.d"
+  "CMakeFiles/mv_vmm.dir/hvm.cpp.o"
+  "CMakeFiles/mv_vmm.dir/hvm.cpp.o.d"
+  "libmv_vmm.a"
+  "libmv_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiverse_test.dir/multiverse_test.cpp.o"
+  "CMakeFiles/multiverse_test.dir/multiverse_test.cpp.o.d"
+  "multiverse_test"
+  "multiverse_test.pdb"
+  "multiverse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiverse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naut_test.dir/naut_test.cpp.o"
+  "CMakeFiles/naut_test.dir/naut_test.cpp.o.d"
+  "naut_test"
+  "naut_test.pdb"
+  "naut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

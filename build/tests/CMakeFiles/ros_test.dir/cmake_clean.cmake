@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_test.dir/ros_test.cpp.o"
+  "CMakeFiles/ros_test.dir/ros_test.cpp.o.d"
+  "ros_test"
+  "ros_test.pdb"
+  "ros_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

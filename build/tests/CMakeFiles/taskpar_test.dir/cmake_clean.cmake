@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskpar_test.dir/taskpar_test.cpp.o"
+  "CMakeFiles/taskpar_test.dir/taskpar_test.cpp.o.d"
+  "taskpar_test"
+  "taskpar_test.pdb"
+  "taskpar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskpar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

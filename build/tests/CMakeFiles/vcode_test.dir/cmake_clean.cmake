@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcode_test.dir/vcode_test.cpp.o"
+  "CMakeFiles/vcode_test.dir/vcode_test.cpp.o.d"
+  "vcode_test"
+  "vcode_test.pdb"
+  "vcode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vmm_test.cpp" "tests/CMakeFiles/vmm_test.dir/vmm_test.cpp.o" "gcc" "tests/CMakeFiles/vmm_test.dir/vmm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/multiverse/CMakeFiles/mv_multiverse.dir/DependInfo.cmake"
+  "/root/repo/build/src/aerokernel/CMakeFiles/mv_aerokernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/scheme/CMakeFiles/mv_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/taskpar/CMakeFiles/mv_taskpar.dir/DependInfo.cmake"
+  "/root/repo/build/src/ros/CMakeFiles/mv_ros.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/mv_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mv_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

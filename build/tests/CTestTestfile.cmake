@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/vmm_test[1]_include.cmake")
+include("/root/repo/build/tests/ros_test[1]_include.cmake")
+include("/root/repo/build/tests/naut_test[1]_include.cmake")
+include("/root/repo/build/tests/multiverse_test[1]_include.cmake")
+include("/root/repo/build/tests/scheme_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_scheme_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/taskpar_test[1]_include.cmake")
+include("/root/repo/build/tests/vcode_test[1]_include.cmake")
+include("/root/repo/build/tests/ndp_test[1]_include.cmake")
