@@ -11,6 +11,9 @@ namespace mvbench {
 namespace {
 
 double measure_forward_cycles(bool sync_channel, bool same_socket) {
+  // Fresh instrumentation per configuration so the percentile table printed
+  // below describes exactly one transport/placement combination.
+  begin_measurement();
   SystemConfig cfg;
   cfg.ros_core = 0;
   cfg.hrt_core = same_socket ? 1 : 2;
@@ -26,6 +29,11 @@ double measure_forward_cycles(bool sync_channel, bool same_socket) {
     cycles = static_cast<double>(core.cycles() - before) / reps;
     return 0;
   });
+  std::printf("[%s/%s]\n", sync_channel ? "sync" : "async",
+              same_socket ? "same-socket" : "cross-socket");
+  print_channel_latency_percentiles();
+  end_measurement(sync_channel ? (same_socket ? "sync-same" : "sync-cross")
+                               : (same_socket ? "async-same" : "async-cross"));
   return r ? cycles : -1;
 }
 

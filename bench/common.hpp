@@ -6,14 +6,17 @@
 // glance in CI logs.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "multiverse/system.hpp"
 #include "runtime/scheme/engine.hpp"
 #include "runtime/scheme/programs.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 namespace mvbench {
 
@@ -57,6 +60,66 @@ inline const char* mode_name(Mode m) {
     case Mode::kMultiverse: return "Multiverse";
   }
   return "?";
+}
+
+// --- metrics / tracing helpers ----------------------------------------------
+//
+// Benchmarks measure several configurations in one process; call
+// reset_instrumentation() between them so per-channel histograms describe
+// exactly one configuration. When MV_TRACE_OUT is set in the environment,
+// begin_measurement() also arms the cycle-domain tracer and
+// end_measurement() exports a chrome://tracing JSON file to that path
+// (load it via chrome://tracing or https://ui.perfetto.dev).
+
+inline void reset_instrumentation() {
+  metrics::Registry::instance().reset();
+  Tracer::instance().reset();
+}
+
+inline void begin_measurement() {
+  reset_instrumentation();
+  if (std::getenv("MV_TRACE_OUT") != nullptr) Tracer::instance().enable();
+}
+
+inline void end_measurement(const char* tag) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  tracer.disable();
+  const char* base = std::getenv("MV_TRACE_OUT");
+  if (base == nullptr) return;
+  const std::string path = strfmt("%s.%s.json", base, tag);
+  const Status s = tracer.write_chrome_json(path);
+  if (s.is_ok()) {
+    std::printf("[trace] wrote %s (%zu events)\n", path.c_str(),
+                tracer.event_count());
+  } else {
+    std::printf("[trace] export failed: %s\n", s.to_string().c_str());
+  }
+}
+
+// Print `count= p50= p90= p99= max=` for every channel latency histogram the
+// last measurement populated (names look like channel/0/latency/syscall/sync).
+inline void print_channel_latency_percentiles() {
+  auto hists =
+      metrics::Registry::instance().histograms_with_prefix("channel/");
+  bool any = false;
+  for (const auto& [name, hist] : hists) {
+    if (hist->count() == 0) continue;
+    if (name.find("/latency/") == std::string::npos &&
+        name.find("/queue_wait") == std::string::npos) {
+      continue;
+    }
+    if (!any) {
+      std::printf("\nPer-channel request latency (simulated cycles):\n");
+      any = true;
+    }
+    std::printf("  %-36s count=%-7llu p50=%-9.0f p90=%-9.0f p99=%-9.0f "
+                "max=%-9.0f\n",
+                name.c_str(), static_cast<unsigned long long>(hist->count()),
+                hist->percentile(50), hist->percentile(90),
+                hist->percentile(99), hist->max());
+  }
+  if (any) std::printf("\n");
 }
 
 inline Result<ProgramResult> run_scheme_benchmark(Mode mode, scheme::Bench b,

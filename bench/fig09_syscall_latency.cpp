@@ -73,6 +73,7 @@ std::vector<Case> make_cases() {
 
 // Measure mean cycles per op on the core executing the guest.
 std::vector<double> measure(Mode mode) {
+  begin_measurement();
   SystemConfig cfg;
   cfg.virtualized = true;  // both Fig 9 configurations run under the VMM
   HybridSystem system(cfg);
@@ -100,6 +101,12 @@ std::vector<double> measure(Mode mode) {
                 r.status().to_string().c_str());
     out.assign(make_cases().size(), -1);
   }
+  if (mode == Mode::kMultiverse) {
+    // Only the hybrid run has an event channel; the percentiles show the
+    // full requester-observed forwarding distribution behind the means.
+    print_channel_latency_percentiles();
+  }
+  end_measurement(mode_name(mode));
   return out;
 }
 

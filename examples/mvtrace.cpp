@@ -4,15 +4,21 @@
 // the subtractive porting loop).
 //
 //   mvtrace [native|hybrid] [startup|bintree|fasta]
+//
+// Set MV_TRACE_OUT=/path/prefix to additionally export a cycle-domain
+// chrome://tracing JSON of the run (open in chrome://tracing or Perfetto);
+// timestamps are simulated cycles, one track per simulated core.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "multiverse/system.hpp"
 #include "runtime/scheme/engine.hpp"
 #include "runtime/scheme/programs.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 using namespace mv;
 using namespace mv::multiverse;
@@ -62,6 +68,9 @@ int main(int argc, char** argv) {
 
   std::printf("== mvtrace: %s run of '%s' ==\n\n", mode, which);
 
+  const char* trace_out = std::getenv("MV_TRACE_OUT");
+  if (trace_out != nullptr) Tracer::instance().enable();
+
   SystemConfig cfg;
   cfg.virtualized = hybrid;
   HybridSystem system(cfg);
@@ -110,6 +119,19 @@ int main(int argc, char** argv) {
   for (const auto& [name, count] : rows) {
     std::printf("%8llu  %s\n", static_cast<unsigned long long>(count),
                 name.c_str());
+  }
+
+  if (trace_out != nullptr) {
+    Tracer& tracer = Tracer::instance();
+    tracer.disable();
+    const std::string path = strfmt("%s.%s.%s.json", trace_out, mode, which);
+    const Status s = tracer.write_chrome_json(path);
+    if (!s.is_ok()) {
+      std::printf("trace export failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("\nwrote chrome://tracing JSON: %s (%zu events)\n",
+                path.c_str(), tracer.event_count());
   }
   return 0;
 }

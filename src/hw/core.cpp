@@ -5,6 +5,7 @@
 #include "hw/machine.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace mv::hw {
 
@@ -16,6 +17,10 @@ Status Core::deliver(InterruptFrame frame) {
                       unsigned{frame.vector}));
   }
   ++interrupts_taken_;
+  if (Tracer::instance().enabled()) {
+    Tracer::instance().instant(
+        id_, "irq", strfmt("vector%u", unsigned{frame.vector}));
+  }
   if (frame.vector == kVecPageFault) {
     ++page_faults_taken_;
     cr2_ = frame.fault_addr;

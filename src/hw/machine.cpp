@@ -1,5 +1,8 @@
 #include "hw/machine.hpp"
 
+#include "support/strings.hpp"
+#include "support/trace.hpp"
+
 namespace mv::hw {
 
 Machine::Machine(const MachineConfig& config)
@@ -12,7 +15,19 @@ Machine::Machine(const MachineConfig& config)
       cores_.push_back(std::make_unique<Core>(*this, id, s));
     }
   }
+  // This machine's per-core cycle counters become the tracer's simulated
+  // clock (the newest machine wins when tests build several).
+  Tracer& tracer = Tracer::instance();
+  tracer.bind_clock(this, [this](unsigned core_id) -> std::uint64_t {
+    return core_id < cores_.size() ? cores_[core_id]->cycles() : 0;
+  });
+  for (const auto& c : cores_) {
+    tracer.set_track_name(
+        c->id(), strfmt("core%u (socket%u)", c->id(), c->socket()));
+  }
 }
+
+Machine::~Machine() { Tracer::instance().clear_clock(this); }
 
 Status Machine::send_ipi(unsigned from, unsigned to, std::uint8_t vector,
                          std::uint64_t payload) {

@@ -24,6 +24,10 @@ struct MachineConfig {
 class Machine {
  public:
   explicit Machine(const MachineConfig& config = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
 
   [[nodiscard]] unsigned core_count() const noexcept {
     return static_cast<unsigned>(cores_.size());

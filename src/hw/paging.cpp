@@ -24,16 +24,16 @@ Result<std::uint64_t> PageTables::new_root(unsigned zone) {
 }
 
 std::uint64_t PageTables::entry_at(std::uint64_t table, unsigned index) const {
+  // MV_CHECK, not assert: a bad table pointer under NDEBUG would otherwise
+  // dereference an error Result and walk garbage page-table entries.
   auto r = mem_->read_u64(table + index * 8);
-  assert(r.is_ok());
+  MV_CHECK_OK(r);
   return *r;
 }
 
 void PageTables::set_entry_at(std::uint64_t table, unsigned index,
                               std::uint64_t entry) {
-  const Status s = mem_->write_u64(table + index * 8, entry);
-  assert(s.is_ok());
-  (void)s;
+  MV_CHECK_OK(mem_->write_u64(table + index * 8, entry));
 }
 
 Result<std::uint64_t> PageTables::descend(std::uint64_t table, unsigned index,

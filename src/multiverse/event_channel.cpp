@@ -4,12 +4,34 @@
 
 #include "support/log.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace mv::multiverse {
 
+namespace {
+const char* kKindNames[2] = {"syscall", "fault"};
+const char* kTransportNames[2] = {"async", "sync"};
+}  // namespace
+
 EventChannel::EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
-                           unsigned hrt_core)
-    : hvm_(&hvm), linux_(&linux), sched_(&sched), hrt_core_(hrt_core) {}
+                           unsigned hrt_core, int id)
+    : hvm_(&hvm), linux_(&linux), sched_(&sched), hrt_core_(hrt_core),
+      id_(id) {
+  metrics::Registry& reg = metrics::Registry::instance();
+  for (int kind = 0; kind < 2; ++kind) {
+    for (int transport = 0; transport < 2; ++transport) {
+      latency_metric_[kind][transport] = &reg.histogram(
+          strfmt("channel/%d/latency/%s/%s", id_, kKindNames[kind],
+                 kTransportNames[transport]));
+    }
+  }
+  queue_wait_metric_ = &reg.histogram(strfmt("channel/%d/queue_wait", id_));
+  served_metric_ = &reg.counter(strfmt("channel/%d/requests_served", id_));
+  protocol_error_metric_ =
+      &reg.counter(strfmt("channel/%d/protocol_errors", id_));
+  contended_metric_ =
+      &reg.counter(strfmt("channel/%d/contended_acquires", id_));
+}
 
 Status EventChannel::init() {
   MV_ASSIGN_OR_RETURN(page_, hvm_->hrt_alloc(hw::kPageSize));
@@ -17,15 +39,19 @@ Status EventChannel::init() {
 }
 
 std::uint64_t EventChannel::page_read(std::uint64_t off) const {
+  // MV_CHECK, not assert: under NDEBUG an assert would compile out and a
+  // failed channel-page read would silently return garbage protocol state.
   auto r = hvm_->machine().mem().read_u64(page_ + off);
-  assert(r.is_ok());
+  MV_CHECK_OK(r);
   return *r;
 }
 
 void EventChannel::page_write(std::uint64_t off, std::uint64_t value) {
-  const Status s = hvm_->machine().mem().write_u64(page_ + off, value);
-  assert(s.is_ok());
-  (void)s;
+  MV_CHECK_OK(hvm_->machine().mem().write_u64(page_ + off, value));
+}
+
+Cycles EventChannel::requester_cycles() const {
+  return hvm_->machine().core(hrt_core_).cycles();
 }
 
 Status EventChannel::enable_sync_mode(std::uint64_t sync_vaddr) {
@@ -52,9 +78,19 @@ Cycles EventChannel::transport_cost() const {
 }
 
 void EventChannel::acquire() {
-  while (busy_) {
-    acquire_waiters_.push_back(sched_->current());
-    sched_->block();
+  if (busy_) {
+    // Queue-wait accounting: cycles the requester's core advanced between
+    // joining the waiter queue and winning the channel (other requesters'
+    // round trips run on the same HRT core, so its clock keeps moving).
+    ++contended_acquires_;
+    MV_COUNTER_INC(contended_metric_, 1);
+    const Cycles wait_begin = requester_cycles();
+    while (busy_) {
+      acquire_waiters_.push_back(sched_->current());
+      sched_->block();
+    }
+    MV_HISTOGRAM_RECORD(queue_wait_metric_,
+                        static_cast<double>(requester_cycles() - wait_begin));
   }
   busy_ = true;
 }
@@ -70,6 +106,9 @@ void EventChannel::release() {
 
 Result<std::uint64_t> EventChannel::roundtrip(std::uint64_t kind) {
   if (partner_ == nullptr) return err(Err::kState, "channel has no partner");
+  const std::size_t kind_idx = kind == kFault ? 1 : 0;
+  const std::size_t transport_idx = sync_mode_ ? 1 : 0;
+  const Cycles request_begin = requester_cycles();
   page_write(kOffKind, kind);
   response_ready_ = false;
   requester_ = sched_->current();
@@ -89,6 +128,19 @@ Result<std::uint64_t> EventChannel::roundtrip(std::uint64_t kind) {
   const std::uint64_t value = page_read(kOffRspValue);
   page_write(kOffKind, kIdle);
   requester_ = kNoTask;
+
+  // Requester-observed request latency, in the HRT core's cycle domain.
+  const Cycles request_end = requester_cycles();
+  MV_HISTOGRAM_RECORD(latency_metric_[kind_idx][transport_idx],
+                      static_cast<double>(request_end - request_begin));
+  if (Tracer::instance().enabled()) {
+    Tracer::instance().complete(
+        hrt_core_, "channel",
+        strfmt("chan%d %s/%s", id_, kKindNames[kind_idx],
+               kTransportNames[transport_idx]),
+        request_begin, request_end);
+  }
+
   if (status_code != 0) {
     return err(static_cast<Err>(status_code), "forwarded request failed");
   }
@@ -144,12 +196,16 @@ bool EventChannel::serve_pending(ros::Thread& server) {
   ros::LinuxSim& kernel = *linux_;
   hw::Core& ros_core = kernel.core_of(server);
 
+  // Validate the request kind *before* counting it as served: malformed
+  // requests get a protocol-error response and their own counter, so the
+  // served count never inflates on garbage.
   const std::uint64_t kind = page_read(kOffKind);
-  ++requests_served_;
   std::uint64_t rsp_status = 0;
   std::uint64_t rsp_value = 0;
 
   if (kind == kSyscall) {
+    ++requests_served_;
+    MV_COUNTER_INC(served_metric_, 1);
     const auto nr = static_cast<ros::SysNr>(page_read(kOffSysNr));
     std::array<std::uint64_t, 6> args{};
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -161,7 +217,7 @@ bool EventChannel::serve_pending(ros::Thread& server) {
     ++proc.sys_counts[static_cast<std::size_t>(nr)];
     ++proc.total_syscalls;
     const Cycles before = ros_core.cycles();
-    auto result = kernel.do_syscall(server, nr, args);
+    auto result = kernel.do_syscall(server, nr, args, /*forwarded=*/true);
     proc.stime_cycles += ros_core.cycles() - before;
     if (proc.syscall_trace_enabled) {
       proc.syscall_trace.push_back(ros::Process::SyscallEvent{
@@ -174,6 +230,8 @@ bool EventChannel::serve_pending(ros::Thread& server) {
       rsp_status = static_cast<std::uint64_t>(result.code());
     }
   } else if (kind == kFault) {
+    ++requests_served_;
+    MV_COUNTER_INC(served_metric_, 1);
     // "The HVM library simply replicates the access, which will cause the
     // same exception to occur on the ROS core. The ROS will then handle it
     // as it would normally." (Including SIGSEGV delivery to the guest's
@@ -192,6 +250,9 @@ bool EventChannel::serve_pending(ros::Thread& server) {
       rsp_status = static_cast<std::uint64_t>(replayed.code());
     }
   } else {
+    ++protocol_errors_;
+    MV_COUNTER_INC(protocol_error_metric_, 1);
+    MV_TRACE_INSTANT(server.core, "channel", "protocol_error");
     rsp_status = static_cast<std::uint64_t>(Err::kProtocol);
   }
 
@@ -204,7 +265,7 @@ bool EventChannel::serve_pending(ros::Thread& server) {
 }
 
 void EventChannel::service_loop() {
-  assert(partner_ != nullptr);
+  MV_CHECK(partner_ != nullptr, "service_loop without a bound partner");
   for (;;) {
     // Sleep until a request or the exit signal arrives.
     while (page_read(kOffKind) == kIdle && !exit_) {

@@ -18,6 +18,7 @@
 
 #include "aerokernel/nautilus.hpp"
 #include "ros/linux.hpp"
+#include "support/metrics.hpp"
 #include "support/result.hpp"
 #include "support/sched.hpp"
 #include "vmm/hvm.hpp"
@@ -26,8 +27,12 @@ namespace mv::multiverse {
 
 class EventChannel final : public naut::LegacyChannel {
  public:
+  // `id` names the channel in metrics/traces (the runtime passes the
+  // execution-group id; white-box tests may leave the default).
   EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
-               unsigned hrt_core);
+               unsigned hrt_core, int id = 0);
+
+  [[nodiscard]] int id() const noexcept { return id_; }
 
   // Allocate the shared channel page. Must be called before use.
   Status init();
@@ -65,8 +70,17 @@ class EventChannel final : public naut::LegacyChannel {
   }
 
   // --- telemetry -------------------------------------------------------------------
+  // Well-formed requests completed by the ROS side. Malformed (protocol
+  // error) requests are counted separately and never inflate this.
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return requests_served_;
+  }
+  [[nodiscard]] std::uint64_t protocol_errors() const noexcept {
+    return protocol_errors_;
+  }
+  // acquire() calls that found the channel busy and had to queue.
+  [[nodiscard]] std::uint64_t contended_acquires() const noexcept {
+    return contended_acquires_;
   }
   [[nodiscard]] int exited_hrt_tid() const noexcept { return exited_tid_; }
 
@@ -88,6 +102,9 @@ class EventChannel final : public naut::LegacyChannel {
   std::uint64_t page_read(std::uint64_t off) const;
   void page_write(std::uint64_t off, std::uint64_t value);
 
+  // Requester-side cycle clock (the HRT core all requesters run on).
+  [[nodiscard]] Cycles requester_cycles() const;
+
   // Serialize concurrent requesters (nested + top-level threads share the
   // channel), then run the request/response round trip.
   Result<std::uint64_t> roundtrip(std::uint64_t kind);
@@ -99,6 +116,7 @@ class EventChannel final : public naut::LegacyChannel {
   ros::LinuxSim* linux_;
   Sched* sched_;
   unsigned hrt_core_;
+  int id_ = 0;
   std::uint64_t page_ = 0;
   ros::Thread* partner_ = nullptr;
   bool sync_mode_ = false;
@@ -113,6 +131,17 @@ class EventChannel final : public naut::LegacyChannel {
   bool exit_ = false;
   int exited_tid_ = -1;
   std::uint64_t requests_served_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+  std::uint64_t contended_acquires_ = 0;
+
+  // Cached metrics instruments, resolved once at construction:
+  // latency_[kind][transport] with kind in {syscall, fault} and transport in
+  // {async, sync}. Recording is in simulated cycles and charges none.
+  metrics::Histogram* latency_metric_[2][2] = {};
+  metrics::Histogram* queue_wait_metric_ = nullptr;
+  metrics::Counter* served_metric_ = nullptr;
+  metrics::Counter* protocol_error_metric_ = nullptr;
+  metrics::Counter* contended_metric_ = nullptr;
 };
 
 }  // namespace mv::multiverse

@@ -313,8 +313,8 @@ Result<ExecGroup*> MultiverseRuntime::create_group(ros::Thread& caller,
   group->runtime = this;
   group->body = std::move(fn);
   const unsigned hrt_core = hvm_->config().hrt_cores.front();
-  group->channel =
-      std::make_unique<EventChannel>(*hvm_, *linux_, *sched_, hrt_core);
+  group->channel = std::make_unique<EventChannel>(*hvm_, *linux_, *sched_,
+                                                  hrt_core, group->id);
   MV_RETURN_IF_ERROR(group->channel->init());
 
   ExecGroup* raw = group.get();

@@ -46,7 +46,7 @@ HybridSystem::HybridSystem(SystemConfig config)
   inputs.program_name = "hybrid-program";
   inputs.extra_override_config = config_.extra_override_config;
   auto fb = Toolchain::build(inputs);
-  assert(fb.is_ok() && "toolchain build failed");
+  MV_CHECK_OK(fb);
   fat_binary_ = fb->serialize();
 }
 

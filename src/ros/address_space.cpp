@@ -1,7 +1,6 @@
 #include "ros/address_space.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
 #include "support/log.hpp"
@@ -17,7 +16,7 @@ AddressSpace::AddressSpace(hw::Machine& machine, unsigned numa_zone,
                            std::uint64_t zero_page_paddr)
     : machine_(&machine), zone_(numa_zone), zero_page_(zero_page_paddr) {
   auto root = machine_->paging().new_root(zone_);
-  assert(root.is_ok() && "cannot allocate page-table root");
+  MV_CHECK_OK(root);
   cr3_ = *root;
 }
 

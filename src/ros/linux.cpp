@@ -1,10 +1,10 @@
 #include "ros/linux.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "support/log.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace mv::ros {
 
@@ -18,7 +18,7 @@ constexpr std::uint64_t kScratchSize = 64 * 1024;
 LinuxSim::LinuxSim(hw::Machine& machine, Sched& sched, Config config)
     : machine_(&machine), sched_(&sched), config_(std::move(config)) {
   auto zp = machine_->mem().alloc_frame(config_.numa_zone);
-  assert(zp.is_ok() && "cannot allocate zero page");
+  MV_CHECK_OK(zp);
   zero_page_ = *zp;
   for (unsigned c : config_.cores) {
     // Linux runs with write protection enforced in ring 0.
@@ -233,8 +233,40 @@ Result<std::uint64_t> LinuxSim::syscall_entry(
   return result;
 }
 
+metrics::Histogram* LinuxSim::syscall_metric(SysNr nr, bool forwarded) {
+  const auto idx = static_cast<std::size_t>(nr);
+  auto& table = syscall_metrics_[forwarded ? 1 : 0];
+  if (idx >= table.size()) return nullptr;
+  if (table[idx] == nullptr) {
+    table[idx] = &metrics::Registry::instance().histogram(
+        strfmt("ros/syscall/%s/%s", sysnr_name(nr),
+               forwarded ? "forwarded" : "native"));
+  }
+  return table[idx];
+}
+
 Result<std::uint64_t> LinuxSim::do_syscall(Thread& thread, SysNr nr,
-                                           std::array<std::uint64_t, 6> args) {
+                                           std::array<std::uint64_t, 6> args,
+                                           bool forwarded) {
+  // Latency is the dispatched handler's cycle delta on the executing core —
+  // pure observation, so simulated results are identical with metrics off.
+  hw::Core& core = core_of(thread);
+  const Cycles before = core.cycles();
+  auto result = dispatch_syscall(thread, nr, args);
+  const Cycles after = core.cycles();
+  MV_HISTOGRAM_RECORD(syscall_metric(nr, forwarded),
+                      static_cast<double>(after - before));
+  if (Tracer::instance().enabled()) {
+    Tracer::instance().complete(
+        thread.core, "syscall",
+        forwarded ? strfmt("%s (fwd)", sysnr_name(nr)) : sysnr_name(nr),
+        before, after);
+  }
+  return result;
+}
+
+Result<std::uint64_t> LinuxSim::dispatch_syscall(
+    Thread& thread, SysNr nr, std::array<std::uint64_t, 6> args) {
   hw::Core& core = core_of(thread);
   ensure_address_space(thread);
   Process& proc = *thread.proc;

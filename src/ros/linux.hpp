@@ -21,6 +21,7 @@
 #include "ros/fs.hpp"
 #include "ros/guest.hpp"
 #include "ros/types.hpp"
+#include "support/metrics.hpp"
 #include "support/result.hpp"
 #include "support/sched.hpp"
 
@@ -193,9 +194,11 @@ class LinuxSim {
                                       std::array<std::uint64_t, 6> args);
   // Kernel-internal dispatch without the transition. Multiverse's partner
   // threads call this when servicing forwarded events (the forwarding costs
-  // are charged by the event channel, not here).
+  // are charged by the event channel, not here); they pass `forwarded=true`
+  // so the per-syscall latency histograms stay split by origin.
   Result<std::uint64_t> do_syscall(Thread& thread, SysNr nr,
-                                   std::array<std::uint64_t, 6> args);
+                                   std::array<std::uint64_t, 6> args,
+                                   bool forwarded = false);
 
   // --- fault path --------------------------------------------------------------
   // Repairs the fault against the thread's address space or delivers SIGSEGV.
@@ -239,6 +242,13 @@ class LinuxSim {
   Result<std::uint64_t> copy_path_from_user(Thread& t, std::uint64_t vaddr,
                                             std::string* out);
 
+  // The big syscall switch (do_syscall minus the latency accounting).
+  Result<std::uint64_t> dispatch_syscall(Thread& thread, SysNr nr,
+                                         std::array<std::uint64_t, 6> args);
+  // Lazily resolved `ros/syscall/<name>/{native,forwarded}` histogram; only
+  // syscall numbers actually exercised ever appear in the registry.
+  metrics::Histogram* syscall_metric(SysNr nr, bool forwarded);
+
   // Individual syscall implementations (syscalls.cpp).
   Result<std::uint64_t> sys_read(Thread&, std::array<std::uint64_t, 6>);
   Result<std::uint64_t> sys_write(Thread&, std::array<std::uint64_t, 6>);
@@ -267,6 +277,12 @@ class LinuxSim {
   int next_pid_ = 1000;
   unsigned next_core_rr_ = 0;  // round-robin thread placement
   std::uint64_t monotonic_us_ = 0;
+  // Per-syscall-number latency histograms, [native, forwarded], cached so
+  // the hot path never does a registry name lookup.
+  std::array<std::array<metrics::Histogram*,
+                        static_cast<std::size_t>(SysNr::kCount_)>,
+             2>
+      syscall_metrics_{};
 };
 
 }  // namespace mv::ros

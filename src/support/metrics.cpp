@@ -1,0 +1,132 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace mv::metrics {
+
+void Histogram::record(double x) {
+  ++count_;
+  sum_ += x;
+  min_ = count_ == 1 ? x : std::min(min_, x);
+  max_ = count_ == 1 ? x : std::max(max_, x);
+
+  const double clamped = x < 0 ? 0 : x;
+  const auto as_u64 = static_cast<std::uint64_t>(clamped);
+  std::size_t bucket = 0;
+  while (bucket + 1 < kNumBuckets && (1ull << (bucket + 1)) <= as_u64) {
+    ++bucket;
+  }
+  ++buckets_[bucket];
+
+  // Deterministic reservoir: admit every stride-th sample; on overflow keep
+  // every other retained sample and double the stride.
+  if (++skipped_ < stride_) return;
+  skipped_ = 0;
+  if (samples_.size() >= kReservoirCap) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < samples_.size(); r += 2) {
+      samples_[w++] = samples_[r];
+    }
+    samples_.resize(w);
+    stride_ *= 2;
+  }
+  samples_.push_back(x);
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void Histogram::reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  samples_.clear();
+  stride_ = 1;
+  skipped_ = 0;
+}
+
+Registry& Registry::instance() noexcept {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  if (Counter* existing = find_counter(name)) return *existing;
+  counters_.emplace_back(name, std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  if (Histogram* existing = find_histogram(name)) return *existing;
+  histograms_.emplace_back(name, std::make_unique<Histogram>());
+  return *histograms_.back().second;
+}
+
+Counter* Registry::find_counter(const std::string& name) {
+  for (auto& [n, c] : counters_) {
+    if (n == name) return c.get();
+  }
+  return nullptr;
+}
+
+Histogram* Registry::find_histogram(const std::string& name) {
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return h.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<std::string, const Counter*>>
+Registry::counters_with_prefix(const std::string& prefix) const {
+  std::vector<std::pair<std::string, const Counter*>> out;
+  for (const auto& [n, c] : counters_) {
+    if (n.rfind(prefix, 0) == 0) out.emplace_back(n, c.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+Registry::histograms_with_prefix(const std::string& prefix) const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  for (const auto& [n, h] : histograms_) {
+    if (n.rfind(prefix, 0) == 0) out.emplace_back(n, h.get());
+  }
+  return out;
+}
+
+std::string Registry::to_text() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += strfmt("counter %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += strfmt(
+        "histogram %s count=%llu mean=%.1f p50=%.1f p90=%.1f p99=%.1f "
+        "max=%.1f\n",
+        name.c_str(), static_cast<unsigned long long>(h->count()), h->mean(),
+        h->percentile(50), h->percentile(90), h->percentile(99), h->max());
+  }
+  return out;
+}
+
+void Registry::reset() {
+  for (auto& [n, c] : counters_) c->reset();
+  for (auto& [n, h] : histograms_) h->reset();
+}
+
+}  // namespace mv::metrics

@@ -1,6 +1,17 @@
 #include "support/result.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace mv {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& detail) {
+  std::fprintf(stderr, "MV_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               detail.empty() ? "" : " — ", detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
 
 const char* err_name(Err e) noexcept {
   switch (e) {

@@ -122,7 +122,38 @@ class Result {
   std::variant<T, Status> v_;
 };
 
+// Abort path for MV_CHECK / MV_CHECK_OK: prints the failing expression and
+// detail to stderr, then aborts. Never compiled out.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& detail);
+
+// Uniform Status extraction for MV_CHECK_OK (works on Status and Result<T>).
+inline const Status& as_status(const Status& s) noexcept { return s; }
+template <typename T>
+Status as_status(const Result<T>& r) {
+  return r.status();
+}
+
 }  // namespace mv
+
+// Hard invariant checks that survive NDEBUG. Use these instead of assert()
+// wherever a violated condition would otherwise let a Release build continue
+// on garbage data (e.g. a failed guest-memory access returning an
+// uninitialized value). `cond` is evaluated exactly once in all build types.
+#define MV_CHECK(cond, detail)                                        \
+  do {                                                                \
+    if (!(cond)) ::mv::check_failed(#cond, __FILE__, __LINE__, detail); \
+  } while (0)
+
+// Check that a Status / Result expression is OK; aborts with its message.
+#define MV_CHECK_OK(expr)                                            \
+  do {                                                               \
+    const auto& mv_check_ref__ = (expr);                             \
+    if (!mv_check_ref__.is_ok()) {                                   \
+      ::mv::check_failed(#expr, __FILE__, __LINE__,                  \
+                         ::mv::as_status(mv_check_ref__).to_string()); \
+    }                                                                \
+  } while (0)
 
 // Propagate a non-OK Status from an expression producing Status.
 #define MV_RETURN_IF_ERROR(expr)                  \

@@ -4,6 +4,7 @@
 
 #include "support/log.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace mv {
 
@@ -40,8 +41,12 @@ Status Sched::run() {
     Task* task = find(id);
     if (task == nullptr || task->done || task->blocked) continue;
     current_ = id;
+    Tracer& tracer = Tracer::instance();
+    const std::uint64_t slice_begin = tracer.now(task->core);
     task->fiber->resume();
+    const std::uint64_t slice_end = tracer.now(task->core);
     current_ = kNoTask;
+    account_slice(*task, slice_begin, slice_end);
     if (task->done) {
       --live_;
     } else if (!task->blocked) {
@@ -58,6 +63,35 @@ Status Sched::run() {
     return err(Err::kState, "deadlock: blocked tasks remain: " + who);
   }
   return Status::ok();
+}
+
+void Sched::account_slice(const Task& task, std::uint64_t begin,
+                          std::uint64_t end) {
+  if (end <= begin) return;  // no simulated clock bound, or nothing charged
+  if (core_busy_.size() <= task.core) {
+    core_busy_.resize(task.core + 1, 0);
+    core_slices_.resize(task.core + 1, 0);
+  }
+  core_busy_[task.core] += end - begin;
+  ++core_slices_[task.core];
+  if (end > max_end_cycles_) max_end_cycles_ = end;
+  Tracer& tracer = Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.complete(task.core, "sched", task.name, begin, end);
+  }
+}
+
+std::uint64_t Sched::busy_cycles(unsigned core) const {
+  return core < core_busy_.size() ? core_busy_[core] : 0;
+}
+
+std::uint64_t Sched::slices(unsigned core) const {
+  return core < core_slices_.size() ? core_slices_[core] : 0;
+}
+
+std::uint64_t Sched::idle_cycles(unsigned core) const {
+  const std::uint64_t busy = busy_cycles(core);
+  return busy < max_end_cycles_ ? max_end_cycles_ - busy : 0;
 }
 
 void Sched::yield() {

@@ -54,6 +54,21 @@ class Sched {
   // Diagnostic list of blocked task names (for deadlock reports).
   [[nodiscard]] std::vector<std::string> blocked_names() const;
 
+  // --- per-core utilization accounting ------------------------------------
+  // Simulated cycles each core spent running tasks (measured via the
+  // tracer's bound cycle source around every slice; zero when no simulated
+  // clock is bound). Idle is relative to the busiest point on the global
+  // timeline: a core that stood still while others advanced was idle.
+  [[nodiscard]] std::uint64_t busy_cycles(unsigned core) const;
+  [[nodiscard]] std::uint64_t slices(unsigned core) const;
+  [[nodiscard]] std::uint64_t idle_cycles(unsigned core) const;
+  [[nodiscard]] std::uint64_t timeline_cycles() const noexcept {
+    return max_end_cycles_;
+  }
+  [[nodiscard]] std::size_t tracked_cores() const noexcept {
+    return core_busy_.size();
+  }
+
  private:
   struct Task {
     TaskId id = kNoTask;
@@ -66,6 +81,7 @@ class Sched {
 
   Task* find(TaskId id);
   const Task* find(TaskId id) const;
+  void account_slice(const Task& task, std::uint64_t begin, std::uint64_t end);
 
   std::vector<std::unique_ptr<Task>> tasks_;
   std::deque<TaskId> run_queue_;
@@ -73,6 +89,9 @@ class Sched {
   TaskId next_id_ = 1;
   std::size_t live_ = 0;
   bool running_ = false;
+  std::vector<std::uint64_t> core_busy_;    // index = core id
+  std::vector<std::uint64_t> core_slices_;  // index = core id
+  std::uint64_t max_end_cycles_ = 0;
 };
 
 }  // namespace mv

@@ -1,10 +1,10 @@
 #include "vmm/hvm.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "support/log.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace mv::vmm {
 
@@ -30,8 +30,27 @@ Hvm::Hvm(hw::Machine& machine, HvmConfig config)
   // page lives at its very bottom so both sides can name it trivially.
   hrt_bump_ = config_.ros_mem_bytes;
   auto page = hrt_alloc(hw::kPageSize);
-  assert(page.is_ok() && "no room for HVM comm page");
+  MV_CHECK_OK(page);
   comm_page_ = *page;
+
+  metrics::Registry& reg = metrics::Registry::instance();
+  for (std::size_t i = 0; i < hc_metrics_.size(); ++i) {
+    hc_metrics_[i] = &reg.counter(
+        strfmt("hvm/hypercall/%s", hypercall_name(static_cast<Hypercall>(i))));
+  }
+  injection_metric_ = &reg.counter("hvm/injections");
+}
+
+void Hvm::count_hypercall(Hypercall nr) {
+  ++exits_;
+  ++hc_counts_[static_cast<std::size_t>(nr)];
+  MV_COUNTER_INC(hc_metrics_[static_cast<std::size_t>(nr)], 1);
+}
+
+void Hvm::count_injection(unsigned vcore, const char* what) {
+  ++injections_;
+  MV_COUNTER_INC(injection_metric_, 1);
+  MV_TRACE_INSTANT(vcore, "hvm", what);
 }
 
 bool Hvm::is_ros_core(unsigned core) const {
@@ -56,22 +75,21 @@ Result<std::uint64_t> Hvm::hrt_alloc(std::uint64_t bytes) {
 }
 
 std::uint64_t Hvm::comm_read(std::uint64_t offset) const {
+  // Hard check in every build type: a failed comm-page read in a Release
+  // build would otherwise silently hand protocol state back as garbage.
   auto r = machine_->mem().read_u64(comm_page_ + offset);
-  assert(r.is_ok());
+  MV_CHECK_OK(r);
   return *r;
 }
 
 void Hvm::comm_write(std::uint64_t offset, std::uint64_t value) {
-  const Status s = machine_->mem().write_u64(comm_page_ + offset, value);
-  assert(s.is_ok());
-  (void)s;
+  MV_CHECK_OK(machine_->mem().write_u64(comm_page_ + offset, value));
 }
 
 Result<std::uint64_t> Hvm::install_hrt_image(
     unsigned vcore, std::span<const std::uint8_t> blob) {
   // Exit accounting: the install request arrives as a hypercall.
-  ++exits_;
-  ++hc_counts_[static_cast<std::size_t>(Hypercall::kInstallHrtImage)];
+  count_hypercall(Hypercall::kInstallHrtImage);
   hw::Core& core = machine_->core(vcore);
   core.charge(hw::costs().hypercall_roundtrip());
 
@@ -135,6 +153,7 @@ Result<std::uint64_t> Hvm::do_merge(unsigned vcore, std::uint64_t ros_cr3) {
   comm_write(CommPage::kOffKind,
              static_cast<std::uint64_t>(HrtEventKind::kMerge));
   machine_->core(vcore).charge(hw::costs().event_inject);
+  count_injection(config_.hrt_cores.front(), "inject:merge");
   MV_RETURN_IF_ERROR(hrt_->on_hvm_event(HrtEventKind::kMerge));
   comm_write(CommPage::kOffKind, 0);
   return comm_read(CommPage::kOffRetCode);
@@ -149,6 +168,7 @@ Result<std::uint64_t> Hvm::do_async_call(unsigned vcore, std::uint64_t func,
   comm_write(CommPage::kOffKind,
              static_cast<std::uint64_t>(HrtEventKind::kFunctionCall));
   machine_->core(vcore).charge(hw::costs().event_inject);
+  count_injection(config_.hrt_cores.front(), "inject:function_call");
   MV_RETURN_IF_ERROR(hrt_->on_hvm_event(HrtEventKind::kFunctionCall));
   comm_write(CommPage::kOffKind, 0);
   return comm_read(CommPage::kOffRetCode);
@@ -157,8 +177,7 @@ Result<std::uint64_t> Hvm::do_async_call(unsigned vcore, std::uint64_t func,
 Result<std::uint64_t> Hvm::hypercall(unsigned vcore, Hypercall nr,
                                      std::uint64_t a0, std::uint64_t a1) {
   // Every hypercall is a VM exit on the issuing vcore.
-  ++exits_;
-  ++hc_counts_[static_cast<std::size_t>(nr)];
+  count_hypercall(nr);
   hw::Core& core = machine_->core(vcore);
   core.charge(hw::costs().hypercall_roundtrip());
 
@@ -197,6 +216,7 @@ Result<std::uint64_t> Hvm::hypercall(unsigned vcore, Hypercall nr,
       // "Interrupt to user": lower priority than real exceptions; in the
       // cooperative simulation the next user-mode entry is immediate.
       core.charge(hw::costs().user_interrupt_setup);
+      count_injection(config_.ros_cores.front(), "inject:interrupt_to_user");
       ros_user_interrupt_(a0);
       return std::uint64_t{0};
     }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "hw/machine.hpp"
+#include "support/metrics.hpp"
 #include "support/result.hpp"
 #include "support/units.hpp"
 #include "vmm/hrt_image.hpp"
@@ -142,12 +143,20 @@ class Hvm {
   [[nodiscard]] std::uint64_t hypercall_count(Hypercall nr) const {
     return hc_counts_.at(static_cast<std::size_t>(nr));
   }
+  // Events/interrupts the VMM injected into a guest context: HRT event
+  // exceptions (function call / merge requests) plus ROS "interrupt to
+  // user" deliveries.
+  [[nodiscard]] std::uint64_t injection_count() const noexcept {
+    return injections_;
+  }
   [[nodiscard]] Cycles last_boot_cycles() const noexcept {
     return last_boot_cycles_;
   }
 
  private:
   Status check_partition_boot_state(unsigned vcore) const;
+  void count_hypercall(Hypercall nr);
+  void count_injection(unsigned vcore, const char* what);
   Result<std::uint64_t> do_boot(unsigned vcore);
   Result<std::uint64_t> do_merge(unsigned vcore, std::uint64_t ros_cr3);
   Result<std::uint64_t> do_async_call(unsigned vcore, std::uint64_t func,
@@ -163,8 +172,13 @@ class Hvm {
   std::uint64_t installed_entry_ = 0;
   bool hrt_booted_ = false;
   std::uint64_t exits_ = 0;
+  std::uint64_t injections_ = 0;
   std::array<std::uint64_t, static_cast<std::size_t>(Hypercall::kCount_)>
       hc_counts_{};
+  // Cached metrics instruments (resolved once in the constructor).
+  std::array<metrics::Counter*, static_cast<std::size_t>(Hypercall::kCount_)>
+      hc_metrics_{};
+  metrics::Counter* injection_metric_ = nullptr;
   Cycles last_boot_cycles_ = 0;
   std::uint64_t ros_signal_handler_ = 0;
   UserInterrupt ros_user_interrupt_;

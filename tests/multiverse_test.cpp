@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "multiverse/system.hpp"
+#include "support/metrics.hpp"
 
 namespace mv::multiverse {
 namespace {
@@ -639,6 +642,88 @@ TEST(SharedDaemonTest, OutputMatchesDedicatedMode) {
   };
   EXPECT_EQ(run_with(GroupMode::kDedicatedPartner),
             run_with(GroupMode::kSharedDaemon));
+}
+
+TEST(HybridTest, ChannelContentionFromNestedThreads) {
+  // Several nested HRT threads hammer the one channel of their execution
+  // group: acquires must queue (not interleave round trips), every queued
+  // waiter must eventually win the channel, and the contention must be
+  // visible in the channel's queue-wait instrumentation.
+  metrics::Registry::instance().reset();
+  HybridSystem sys;
+  auto r = sys.run_hybrid("contention", [](SysIface& s) {
+    std::vector<int> tids;
+    for (int i = 0; i < 4; ++i) {
+      auto tid = s.thread_create([](SysIface& ts) {
+        for (int j = 0; j < 8; ++j) (void)ts.getcwd();
+      });
+      EXPECT_TRUE(tid.is_ok());
+      tids.push_back(*tid);
+    }
+    for (const int tid : tids) EXPECT_TRUE(s.thread_join(tid).is_ok());
+    return 0;
+  });
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r->exit_code, 0);
+  EXPECT_GE(r->syscall_histogram["getcwd"], 32u);
+
+  metrics::Registry& reg = metrics::Registry::instance();
+  std::uint64_t contended = 0;
+  for (const auto& [name, c] : reg.counters_with_prefix("channel/")) {
+    if (name.find("contended_acquires") != std::string::npos) {
+      contended += c->value();
+    }
+  }
+  EXPECT_GT(contended, 0u);
+  // Every contended acquire recorded exactly one queue-wait sample, and the
+  // wait was real simulated time (other requesters' round trips advanced the
+  // shared HRT core's clock).
+  std::uint64_t wait_samples = 0;
+  double wait_max = 0;
+  for (const auto& [name, h] : reg.histograms_with_prefix("channel/")) {
+    if (name.find("queue_wait") != std::string::npos) {
+      wait_samples += h->count();
+      wait_max = std::max(wait_max, h->max());
+    }
+  }
+  EXPECT_EQ(wait_samples, contended);
+  EXPECT_GT(wait_max, 0.0);
+}
+
+TEST(HybridTest, MarkExitWithRequestInFlight) {
+  // White-box: the exit signal lands while a request is posted but not yet
+  // served. service_loop must serve the in-flight request first and only
+  // then exit — the requester must never deadlock on a dropped response.
+  hw::Machine machine;
+  Sched sched;
+  vmm::Hvm hvm(machine, {});
+  ros::LinuxSim kernel(machine, sched, {});
+  EventChannel chan(hvm, kernel, sched, /*hrt_core=*/1, /*id=*/77);
+  ASSERT_TRUE(chan.init().is_ok());
+
+  // Partner: a real ROS thread whose guest main runs the service loop.
+  auto proc = kernel.spawn("partner", [&](SysIface&) {
+    chan.bind_partner(kernel.current_thread());
+    chan.service_loop();
+    return 0;
+  });
+  ASSERT_TRUE(proc.is_ok());
+
+  // Requester on the HRT core: posts one forwarded syscall.
+  Result<std::uint64_t> forwarded = err(Err::kState, "never ran");
+  sched.spawn(1, [&] { forwarded = chan.forward_syscall(SysNr::kGetpid, {}); },
+              "requester");
+  // Third task: flips the exit bit after the request is posted (round-robin
+  // order guarantees the requester has already blocked in its round trip)
+  // but before the partner has served it.
+  sched.spawn(0, [&] { chan.mark_exit(); }, "exiter");
+
+  ASSERT_TRUE(sched.run().is_ok()) << "deadlock: exit dropped the response";
+  ASSERT_TRUE(forwarded.is_ok()) << forwarded.status().to_string();
+  EXPECT_EQ(*forwarded, static_cast<std::uint64_t>((*proc)->pid));
+  EXPECT_EQ(chan.requests_served(), 1u);
+  EXPECT_TRUE(chan.exit_requested());
+  EXPECT_EQ(chan.protocol_errors(), 0u);
 }
 
 TEST(HybridTest, MultipleSequentialGroups) {
