@@ -350,6 +350,65 @@ Result<std::uint64_t> Nautilus::syscall_stub(
   return result;
 }
 
+std::vector<Result<std::uint64_t>> Nautilus::syscall_stub_batch(
+    const std::vector<ros::SysReq>& reqs) {
+  NautThread* thread = current_thread();
+  hw::Core& core =
+      machine_->core(thread != nullptr ? thread->core : boot_core());
+
+  // One ring-0 SYSCALL entry (and one red-zone pulldown) amortized over the
+  // whole batch — that is what the batch path buys on the stub side.
+  core.charge(hw::costs().syscall_insn);
+  core.charge(hw::costs().reg_op * 4);
+
+  std::vector<Result<std::uint64_t>> out;
+  out.reserve(reqs.size());
+  std::vector<ros::SysReq> allowed;
+  std::vector<std::size_t> allowed_at;
+  for (const ros::SysReq& req : reqs) {
+    switch (req.nr) {
+      case ros::SysNr::kExecve:
+      case ros::SysNr::kClone:
+      case ros::SysNr::kFork:
+      case ros::SysNr::kFutex:
+        out.push_back(err(Err::kNoSys,
+                          strfmt("%s is disallowed in HRT context",
+                                 sysnr_name(req.nr))));
+        break;
+      default:
+        allowed_at.push_back(out.size());
+        allowed.push_back(req);
+        out.push_back(err(Err::kAgain, "batch entry pending"));
+        break;
+    }
+  }
+
+  if (!allowed.empty()) {
+    if (thread == nullptr || thread->channel == nullptr) {
+      for (const std::size_t at : allowed_at) {
+        out[at] = err(Err::kState,
+                      "syscall from HRT context with no event channel");
+      }
+    } else {
+      forwarded_syscalls_ += allowed.size();
+      auto fwd = thread->channel->forward_syscall_batch(allowed);
+      for (std::size_t i = 0; i < allowed_at.size() && i < fwd.size(); ++i) {
+        out[allowed_at[i]] = std::move(fwd[i]);
+      }
+    }
+  }
+
+  if (!config_.emulate_sysret) {
+    for (auto& r : out) {
+      r = err(Err::kState,
+              "SYSRET to ring 0 raises #GP (emulation disabled)");
+    }
+    return out;
+  }
+  core.charge(hw::costs().sysret_emulated);
+  return out;
+}
+
 Status Nautilus::hrt_mem_read(std::uint64_t vaddr, void* out,
                               std::uint64_t len) {
   NautThread* t = current_thread();

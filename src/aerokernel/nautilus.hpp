@@ -33,6 +33,18 @@ class LegacyChannel {
   virtual ~LegacyChannel() = default;
   virtual Result<std::uint64_t> forward_syscall(
       ros::SysNr nr, std::array<std::uint64_t, 6> args) = 0;
+  // Forward several independent syscalls; results in submission order. The
+  // default loops over forward_syscall; channels with a submission ring
+  // override it to stage the whole batch and flush one doorbell.
+  virtual std::vector<Result<std::uint64_t>> forward_syscall_batch(
+      const std::vector<ros::SysReq>& reqs) {
+    std::vector<Result<std::uint64_t>> out;
+    out.reserve(reqs.size());
+    for (const ros::SysReq& req : reqs) {
+      out.push_back(forward_syscall(req.nr, req.args));
+    }
+    return out;
+  }
   // Forward a page fault on a ROS-half address; returns OK once the ROS has
   // repaired the mapping (the access is then retried).
   virtual Status forward_fault(std::uint64_t vaddr,
@@ -118,6 +130,12 @@ class Nautilus final : public vmm::HrtKernelIface {
   // fork, futex).
   Result<std::uint64_t> syscall_stub(ros::SysNr nr,
                                      std::array<std::uint64_t, 6> args);
+
+  // Batched stub entry: one SYSCALL/SYSRET pair covers the whole batch; the
+  // disallowed-call filter still applies per request, and allowed requests
+  // forward as one channel batch.
+  std::vector<Result<std::uint64_t>> syscall_stub_batch(
+      const std::vector<ros::SysReq>& reqs);
 
   // Explicit PML4 re-merge from the stored ROS CR3 (repeat-fault path).
   Status remerge();

@@ -66,6 +66,12 @@ struct CostModel {
            + user_interrupt_setup      // VMM reflects completion back
            + 2 * mem_access;           // shared data page accesses
   }
+  // Staging one request into the channel submission ring (slot payload, the
+  // tail bump, the doorbell-coalescing flag) — plain cached stores; the
+  // doorbell hypercall itself is charged separately, once per flush.
+  [[nodiscard]] Cycles ring_submit() const noexcept { return mem_access * 8; }
+  // Reaping one completion slot (status + value loads, slot release store).
+  [[nodiscard]] Cycles ring_reap() const noexcept { return mem_access * 3; }
   // Synchronous (post-merge) call: pure memory protocol, two line transfers.
   [[nodiscard]] Cycles sync_call_roundtrip(bool same_socket) const noexcept {
     return 2 * (same_socket ? cacheline_same_socket : cacheline_cross_socket);

@@ -53,6 +53,19 @@ Result<OverrideConfig> parse_override_config(const std::string& text) {
         config.options.symbol_cache = value;
       } else if (tokens[1] == "sync_channel") {
         config.options.sync_channel = value;
+      } else if (tokens[1] == "ring_depth") {
+        int depth = 0;
+        try {
+          depth = std::stoi(tokens[2]);
+        } catch (...) {
+          depth = 0;
+        }
+        if (depth < 1) {
+          return err(Err::kParse,
+                     strfmt("line %d: ring_depth wants a positive integer",
+                            lineno));
+        }
+        config.options.ring_depth = depth;
       } else {
         return err(Err::kParse,
                    strfmt("line %d: unknown option '%s'", lineno,

@@ -29,6 +29,10 @@ struct ToolchainOptions {
   bool merge_address_space = true;
   bool symbol_cache = false;
   bool sync_channel = false;  // post-merge memory protocol for events
+  // Event-channel submission-ring depth. 1 (default) selects the eager
+  // doorbell (single-slot compatible cycle numbers); >1 enables batched
+  // doorbells. Clamped to the channel's maximum by the runtime.
+  int ring_depth = 1;
 };
 
 struct OverrideConfig {

@@ -1,5 +1,6 @@
 #include "multiverse/event_channel.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "support/log.hpp"
@@ -26,16 +27,28 @@ EventChannel::EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
     }
   }
   queue_wait_metric_ = &reg.histogram(strfmt("channel/%d/queue_wait", id_));
+  occupancy_metric_ =
+      &reg.histogram(strfmt("channel/%d/ring_occupancy", id_));
   served_metric_ = &reg.counter(strfmt("channel/%d/requests_served", id_));
   protocol_error_metric_ =
       &reg.counter(strfmt("channel/%d/protocol_errors", id_));
   contended_metric_ =
       &reg.counter(strfmt("channel/%d/contended_acquires", id_));
+  doorbell_metric_ = &reg.counter(strfmt("channel/%d/doorbells", id_));
 }
 
 Status EventChannel::init() {
   MV_ASSIGN_OR_RETURN(page_, hvm_->hrt_alloc(hw::kPageSize));
+  page_write(Ring::kOffDepth, depth_);
   return Status::ok();
+}
+
+void EventChannel::set_ring_depth(unsigned depth) {
+  depth_ = std::clamp<unsigned>(depth, 1, Ring::kMaxDepth);
+  // Depth 1 keeps the eager doorbell: every submission pays the full
+  // transport round trip, reproducing the single-slot protocol exactly.
+  eager_ = depth_ == 1;
+  if (page_ != 0) page_write(Ring::kOffDepth, depth_);
 }
 
 std::uint64_t EventChannel::page_read(std::uint64_t off) const {
@@ -77,71 +90,166 @@ Cycles EventChannel::transport_cost() const {
   return costs.async_call_roundtrip();
 }
 
-void EventChannel::acquire() {
-  if (busy_) {
+bool EventChannel::slot_is_free(std::uint64_t seq) const {
+  return page_read(slot_base(seq) + Ring::kSlotState) ==
+         static_cast<std::uint64_t>(Ring::kFree);
+}
+
+std::uint64_t EventChannel::claim_slot() {
+  std::uint64_t tail = page_read(Ring::kOffSubTail);
+  if (!slot_is_free(tail)) {
     // Queue-wait accounting: cycles the requester's core advanced between
-    // joining the waiter queue and winning the channel (other requesters'
-    // round trips run on the same HRT core, so its clock keeps moving).
+    // joining the waiter queue and winning a slot (other requesters' round
+    // trips run on the same HRT core, so its clock keeps moving).
     ++contended_acquires_;
     MV_COUNTER_INC(contended_metric_, 1);
     const Cycles wait_begin = requester_cycles();
-    while (busy_) {
-      acquire_waiters_.push_back(sched_->current());
+    const TaskId self = sched_->current();
+    bool queued = false;
+    for (;;) {
+      tail = page_read(Ring::kOffSubTail);
+      if (slot_is_free(tail)) break;
+      // Enqueue at most once per wait episode: a waiter that loses the race
+      // after a wakeup must not add a second (stale) entry.
+      if (!queued) {
+        claim_waiters_.push_back(self);
+        queued = true;
+      }
       sched_->block();
+      // A reaper's wakeup pops the entry before unblocking; any other
+      // wakeup leaves it queued. Recompute membership from the queue itself.
+      queued = std::find(claim_waiters_.begin(), claim_waiters_.end(), self) !=
+               claim_waiters_.end();
+    }
+    // Stop waiting: drop our entry if it is still queued, so a later
+    // completion never spuriously unblocks a task that moved on.
+    if (queued) {
+      claim_waiters_.erase(
+          std::remove(claim_waiters_.begin(), claim_waiters_.end(), self),
+          claim_waiters_.end());
     }
     MV_HISTOGRAM_RECORD(queue_wait_metric_,
                         static_cast<double>(requester_cycles() - wait_begin));
   }
-  busy_ = true;
+  return tail;
 }
 
-void EventChannel::release() {
-  busy_ = false;
-  if (!acquire_waiters_.empty()) {
-    const TaskId next = acquire_waiters_.front();
-    acquire_waiters_.pop_front();
-    sched_->unblock(next);
-  }
+void EventChannel::wake_next_claimer() {
+  if (claim_waiters_.empty()) return;
+  const TaskId next = claim_waiters_.front();
+  claim_waiters_.pop_front();
+  sched_->unblock(next);
 }
 
-Result<std::uint64_t> EventChannel::roundtrip(std::uint64_t kind) {
-  if (partner_ == nullptr) return err(Err::kState, "channel has no partner");
-  const std::size_t kind_idx = kind == kFault ? 1 : 0;
-  const std::size_t transport_idx = sync_mode_ ? 1 : 0;
-  const Cycles request_begin = requester_cycles();
-  page_write(kOffKind, kind);
-  response_ready_ = false;
-  requester_ = sched_->current();
-
-  // The requester observes the full transport latency; the partner's actual
-  // handler work is charged on the ROS core by the service code.
-  hvm_->machine().core(hrt_core_).charge(transport_cost());
-
+void EventChannel::wake_partner() {
   if (wake_server_) {
     wake_server_();
-  } else if (partner_idle_) {
+  } else if (partner_idle_ && partner_ != nullptr) {
     sched_->unblock(partner_->task);
   }
-  while (!response_ready_) sched_->block();
+}
 
-  const std::uint64_t status_code = page_read(kOffRspStatus);
-  const std::uint64_t value = page_read(kOffRspValue);
-  page_write(kOffKind, kIdle);
-  requester_ = kNoTask;
+void EventChannel::on_doorbell() { wake_partner(); }
+
+void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
+  SlotMeta& meta = slots_[seq % depth_];
+  meta.requester = sched_->current();
+  meta.begin = requester_cycles();
+  meta.kind_idx = kind == kFault ? 1 : 0;
+  meta.transport_idx = sync_mode_ ? 1 : 0;
+
+  const std::uint64_t slot = slot_base(seq);
+  page_write(slot + Ring::kSlotKind, kind);
+  page_write(slot + Ring::kSlotState, Ring::kSubmitted);
+  page_write(Ring::kOffSubTail, seq + 1);
+  MV_HISTOGRAM_RECORD(
+      occupancy_metric_,
+      static_cast<double>(seq + 1 - page_read(Ring::kOffSubHead)));
+
+  hw::Core& core = hvm_->machine().core(hrt_core_);
+  if (eager_) {
+    // Compatibility mode: the requester observes the full transport latency
+    // per request, exactly as the single-slot protocol charged it; the
+    // partner's actual handler work lands on the ROS core in the service
+    // code. The async doorbell is part of that composite cost, so it only
+    // bumps the counter here.
+    core.charge(transport_cost());
+    if (!sync_mode_) {
+      ++doorbells_;
+      MV_COUNTER_INC(doorbell_metric_, 1);
+    }
+    wake_partner();
+    return;
+  }
+
+  if (sync_mode_) {
+    // Post-merge memory protocol: per-request cache-line transfers make the
+    // submission visible; the partner polls the ring — no hypercall at all.
+    core.charge(transport_cost());
+    wake_partner();
+    return;
+  }
+
+  // Batched async transport: staging the slot is plain cached stores. Ring
+  // the doorbell only when no flush is pending — the server clears the flag
+  // once it drains the ring empty, so a burst of submissions shares one
+  // kRaiseRos hypercall.
+  core.charge(hw::costs().ring_submit());
+  if (page_read(Ring::kOffDoorbell) == 0) {
+    page_write(Ring::kOffDoorbell, 1);
+    ++doorbells_;
+    MV_COUNTER_INC(doorbell_metric_, 1);
+    const std::uint64_t pending = seq + 1 - page_read(Ring::kOffSubHead);
+    auto rung = hvm_->hypercall(hrt_core_, vmm::Hypercall::kRaiseRos,
+                                static_cast<std::uint64_t>(id_), pending);
+    // No doorbell dispatcher registered (white-box setups): fall back to
+    // waking the partner task directly.
+    if (!rung) wake_partner();
+  } else {
+    wake_partner();
+  }
+}
+
+Result<std::uint64_t> EventChannel::complete(std::uint64_t seq) {
+  const std::uint64_t slot = slot_base(seq);
+  while (page_read(slot + Ring::kSlotState) !=
+         static_cast<std::uint64_t>(Ring::kCompleted)) {
+    sched_->block();
+  }
+  SlotMeta& meta = slots_[seq % depth_];
+  const std::uint64_t status_code = page_read(slot + Ring::kSlotRspStatus);
+  const std::uint64_t value = page_read(slot + Ring::kSlotRspValue);
+  page_write(slot + Ring::kSlotKind, kIdle);
+  page_write(slot + Ring::kSlotState, Ring::kFree);
+  meta.requester = kNoTask;
+  if (!eager_ && !sync_mode_) {
+    hvm_->machine().core(hrt_core_).charge(hw::costs().ring_reap());
+  }
 
   // Requester-observed request latency, in the HRT core's cycle domain.
   const Cycles request_end = requester_cycles();
-  MV_HISTOGRAM_RECORD(latency_metric_[kind_idx][transport_idx],
-                      static_cast<double>(request_end - request_begin));
+  MV_HISTOGRAM_RECORD(latency_metric_[meta.kind_idx][meta.transport_idx],
+                      static_cast<double>(request_end - meta.begin));
   if (Tracer::instance().enabled()) {
     Tracer::instance().complete(
         hrt_core_, "channel",
-        strfmt("chan%d %s/%s", id_, kKindNames[kind_idx],
-               kTransportNames[transport_idx]),
-        request_begin, request_end);
+        strfmt("chan%d %s/%s", id_, kKindNames[meta.kind_idx],
+               kTransportNames[meta.transport_idx]),
+        meta.begin, request_end);
   }
+  // The freed slot is claimable: hand it to the oldest queued claimer.
+  wake_next_claimer();
 
   if (status_code != 0) {
+    if (!err_code_is_known(status_code)) {
+      // A raw status word outside the known Err range must not be cast into
+      // a fabricated error value — count it as a protocol violation.
+      ++protocol_errors_;
+      MV_COUNTER_INC(protocol_error_metric_, 1);
+      return err(Err::kProtocol,
+                 strfmt("out-of-range completion status %#llx",
+                        static_cast<unsigned long long>(status_code)));
+    }
     return err(static_cast<Err>(status_code), "forwarded request failed");
   }
   return value;
@@ -149,40 +257,82 @@ Result<std::uint64_t> EventChannel::roundtrip(std::uint64_t kind) {
 
 Result<std::uint64_t> EventChannel::forward_syscall(
     ros::SysNr nr, std::array<std::uint64_t, 6> args) {
-  acquire();
-  page_write(kOffSysNr, static_cast<std::uint64_t>(nr));
+  if (partner_ == nullptr) return err(Err::kState, "channel has no partner");
+  const std::uint64_t seq = claim_slot();
+  const std::uint64_t slot = slot_base(seq);
+  page_write(slot + Ring::kSlotSysNr, static_cast<std::uint64_t>(nr));
   for (std::size_t i = 0; i < args.size(); ++i) {
-    page_write(kOffArgs + 8 * i, args[i]);
+    page_write(slot + Ring::kSlotArgs + 8 * i, args[i]);
   }
-  auto result = roundtrip(kSyscall);
-  release();
-  return result;
+  submit(seq, kSyscall);
+  return complete(seq);
+}
+
+std::vector<Result<std::uint64_t>> EventChannel::forward_syscall_batch(
+    const std::vector<ros::SysReq>& reqs) {
+  std::vector<Result<std::uint64_t>> out;
+  out.reserve(reqs.size());
+  if (partner_ == nullptr) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      out.push_back(err(Err::kState, "channel has no partner"));
+    }
+    return out;
+  }
+  // Sliding window over the ring: keep submitting while a slot is available,
+  // reap the oldest in-flight completion when the ring backs up (or when
+  // everything is submitted). With depth 1 this degenerates to the
+  // sequential submit/complete protocol.
+  std::deque<std::uint64_t> inflight;
+  std::size_t next = 0;
+  while (next < reqs.size() || !inflight.empty()) {
+    const bool can_submit =
+        next < reqs.size() &&
+        (inflight.empty() || slot_is_free(page_read(Ring::kOffSubTail)));
+    if (can_submit) {
+      const std::uint64_t seq = claim_slot();
+      const std::uint64_t slot = slot_base(seq);
+      const ros::SysReq& req = reqs[next];
+      page_write(slot + Ring::kSlotSysNr, static_cast<std::uint64_t>(req.nr));
+      for (std::size_t i = 0; i < req.args.size(); ++i) {
+        page_write(slot + Ring::kSlotArgs + 8 * i, req.args[i]);
+      }
+      submit(seq, kSyscall);
+      inflight.push_back(seq);
+      ++next;
+    } else {
+      out.push_back(complete(inflight.front()));
+      inflight.pop_front();
+    }
+  }
+  return out;
 }
 
 Status EventChannel::forward_fault(std::uint64_t vaddr,
                                    std::uint32_t error_code) {
-  acquire();
-  page_write(kOffVaddr, vaddr);
-  page_write(kOffError, error_code);
-  auto result = roundtrip(kFault);
-  release();
-  return result.status();
+  if (partner_ == nullptr) return err(Err::kState, "channel has no partner");
+  const std::uint64_t seq = claim_slot();
+  const std::uint64_t slot = slot_base(seq);
+  page_write(slot + Ring::kSlotVaddr, vaddr);
+  page_write(slot + Ring::kSlotError, error_code);
+  submit(seq, kFault);
+  return complete(seq).status();
 }
 
 void EventChannel::notify_thread_exit(int hrt_tid) {
   // "Asynchronous HRT-to-ROS signaling bypasses the ROS kernel": the HVM
   // injects an "interrupt to user" into the registering process, whose
-  // handler (the Multiverse runtime) flips the partner's completion bit.
+  // handler (the Multiverse runtime) flips the partner's completion bit —
+  // and records which HRT thread exited, via mark_exit's payload.
   auto r = hvm_->hypercall(hrt_core_, vmm::Hypercall::kSignalRos,
                            static_cast<std::uint64_t>(hrt_tid));
   if (!r) {
     // No handler registered (e.g. bare accelerator test); flip directly.
-    exited_tid_ = hrt_tid;
-    mark_exit();
+    mark_exit(hrt_tid);
   }
 }
 
-void EventChannel::mark_exit() {
+void EventChannel::mark_exit(int hrt_tid) {
+  if (hrt_tid >= 0) exited_tid_ = hrt_tid;
   exit_ = true;
   if (wake_server_) {
     wake_server_();
@@ -192,24 +342,32 @@ void EventChannel::mark_exit() {
 }
 
 bool EventChannel::serve_pending(ros::Thread& server) {
-  if (page_read(kOffKind) == kIdle) return false;
+  const std::uint64_t head = page_read(Ring::kOffSubHead);
+  if (head == page_read(Ring::kOffSubTail)) return false;
+  const std::uint64_t slot = slot_base(head);
+  if (page_read(slot + Ring::kSlotState) !=
+      static_cast<std::uint64_t>(Ring::kSubmitted)) {
+    // Tail moved but the slot is not published — a protocol state the
+    // cooperative schedule cannot produce; refuse rather than serve garbage.
+    return false;
+  }
   ros::LinuxSim& kernel = *linux_;
   hw::Core& ros_core = kernel.core_of(server);
 
   // Validate the request kind *before* counting it as served: malformed
   // requests get a protocol-error response and their own counter, so the
   // served count never inflates on garbage.
-  const std::uint64_t kind = page_read(kOffKind);
+  const std::uint64_t kind = page_read(slot + Ring::kSlotKind);
   std::uint64_t rsp_status = 0;
   std::uint64_t rsp_value = 0;
 
   if (kind == kSyscall) {
     ++requests_served_;
     MV_COUNTER_INC(served_metric_, 1);
-    const auto nr = static_cast<ros::SysNr>(page_read(kOffSysNr));
+    const auto nr = static_cast<ros::SysNr>(page_read(slot + Ring::kSlotSysNr));
     std::array<std::uint64_t, 6> args{};
     for (std::size_t i = 0; i < args.size(); ++i) {
-      args[i] = page_read(kOffArgs + 8 * i);
+      args[i] = page_read(slot + Ring::kSlotArgs + 8 * i);
     }
     // Forwarded syscalls execute — and are accounted — in the originating
     // ROS thread context, exactly as strace of the hybrid would show.
@@ -236,9 +394,9 @@ bool EventChannel::serve_pending(ros::Thread& server) {
     // same exception to occur on the ROS core. The ROS will then handle it
     // as it would normally." (Including SIGSEGV delivery to the guest's
     // handler — that is how GC write barriers keep working in the HRT.)
-    const std::uint64_t vaddr = page_read(kOffVaddr);
+    const std::uint64_t vaddr = page_read(slot + Ring::kSlotVaddr);
     const std::uint32_t error =
-        static_cast<std::uint32_t>(page_read(kOffError));
+        static_cast<std::uint32_t>(page_read(slot + Ring::kSlotError));
     const hw::Access access =
         (error & 2u) != 0 ? hw::Access::kWrite : hw::Access::kRead;
     kernel.ensure_address_space(server);
@@ -256,25 +414,39 @@ bool EventChannel::serve_pending(ros::Thread& server) {
     rsp_status = static_cast<std::uint64_t>(Err::kProtocol);
   }
 
-  page_write(kOffRspStatus, rsp_status);
-  page_write(kOffRspValue, rsp_value);
-  page_write(kOffKind, kIdle);
-  response_ready_ = true;
-  if (requester_ != kNoTask) sched_->unblock(requester_);
+  page_write(slot + Ring::kSlotRspStatus, rsp_status);
+  page_write(slot + Ring::kSlotRspValue, rsp_value);
+  page_write(slot + Ring::kSlotState, Ring::kCompleted);
+  page_write(Ring::kOffSubHead, head + 1);
+
+  // Drain bookkeeping: once the ring is empty, retire the coalesced
+  // doorbell (the next submission rings a fresh one) and deliver the
+  // batch's single completion notification back to the HRT side.
+  if (page_read(Ring::kOffSubHead) == page_read(Ring::kOffSubTail) &&
+      page_read(Ring::kOffDoorbell) != 0) {
+    page_write(Ring::kOffDoorbell, 0);
+    ros_core.charge(hw::costs().user_interrupt_setup);
+  }
+
+  const TaskId requester = slots_[head % depth_].requester;
+  if (requester != kNoTask) sched_->unblock(requester);
   return true;
 }
 
 void EventChannel::service_loop() {
   MV_CHECK(partner_ != nullptr, "service_loop without a bound partner");
   for (;;) {
-    // Sleep until a request or the exit signal arrives.
-    while (page_read(kOffKind) == kIdle && !exit_) {
+    // Sleep until a submission or the exit signal arrives.
+    while (!has_request() && !exit_) {
       partner_idle_ = true;
       sched_->block();
       partner_idle_ = false;
     }
-    if (page_read(kOffKind) == kIdle && exit_) return;
-    (void)serve_pending(*partner_);
+    if (!has_request() && exit_) return;
+    // Drain the ring: every submission that arrived before (or during) this
+    // wakeup is served before the partner sleeps again.
+    while (serve_pending(*partner_)) {
+    }
   }
 }
 

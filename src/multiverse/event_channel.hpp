@@ -5,15 +5,31 @@
 // adheres to a strict protocol for event requests and completion."
 //
 // One channel exists per execution group. The HRT side (top-level thread and
-// its nested threads) writes requests into a shared physical page and raises
-// the partner; the partner services the request in the originating ROS
-// thread context and completes it. Two transports are modeled:
+// its nested threads) stages requests into a submission/completion ring in a
+// shared physical page and raises the partner; the partner services requests
+// in the originating ROS thread context and completes them. Two transports
+// are modeled:
 //   - asynchronous (default): hypercall + VMM injection, ~25 K cycles RTT
 //   - synchronous (post-merge): pure memory polling protocol, ~0.8-1 K cycles
+//
+// The ring is io_uring-shaped: a fixed slot array indexed by free-running
+// sequence numbers plus head/tail words, all in the shared page. Nested HRT
+// threads claim slots independently (no global channel lock); the partner
+// drains the ring in submission order per wakeup. Doorbells are batched: in
+// the async transport one kRaiseRos hypercall flushes every pending
+// submission (a coalescing flag suppresses redundant rings while the server
+// is already draining), and in sync mode the partner polls the ring with no
+// hypercall at all.
+//
+// Compatibility mode: ring depth 1 with the eager doorbell reproduces the
+// old single-slot protocol bit-for-bit — each request charges exactly one
+// transport round trip on the requester's core, so the pre-ring cycle
+// numbers (Fig 2 / Fig 9) are unchanged.
 
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "aerokernel/nautilus.hpp"
@@ -27,6 +43,39 @@ namespace mv::multiverse {
 
 class EventChannel final : public naut::LegacyChannel {
  public:
+  // Shared-page ring layout (all offsets within the channel page). Exposed
+  // for white-box protocol tests.
+  struct Ring {
+    static constexpr std::uint64_t kMaxDepth = 16;
+    // Header words.
+    static constexpr std::uint64_t kOffSubHead = 0x00;   // next seq to serve
+    static constexpr std::uint64_t kOffSubTail = 0x08;   // next seq to claim
+    static constexpr std::uint64_t kOffDoorbell = 0x10;  // coalescing flag
+    static constexpr std::uint64_t kOffDepth = 0x18;     // slot count
+    // Slot array: slot(seq) = kSlot0 + (seq % depth) * kSlotStride.
+    static constexpr std::uint64_t kSlot0 = 0x40;
+    static constexpr std::uint64_t kSlotStride = 0x80;
+    // Slot-relative offsets.
+    static constexpr std::uint64_t kSlotState = 0x00;
+    static constexpr std::uint64_t kSlotKind = 0x08;
+    static constexpr std::uint64_t kSlotSysNr = 0x10;
+    static constexpr std::uint64_t kSlotArgs = 0x18;  // 6 x u64
+    static constexpr std::uint64_t kSlotVaddr = 0x48;
+    static constexpr std::uint64_t kSlotError = 0x50;
+    static constexpr std::uint64_t kSlotRspStatus = 0x58;
+    static constexpr std::uint64_t kSlotRspValue = 0x60;
+    // Slot lifecycle: free -> submitted -> completed -> free. A slot is
+    // reusable only once the submitter has reaped the completion.
+    enum State : std::uint64_t {
+      kFree = 0,
+      kSubmitted = 1,
+      kCompleted = 2,
+    };
+  };
+
+  // Request kinds in a slot's kind word.
+  enum : std::uint64_t { kIdle = 0, kSyscall = 1, kFault = 2 };
+
   // `id` names the channel in metrics/traces (the runtime passes the
   // execution-group id; white-box tests may leave the default).
   EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
@@ -36,6 +85,14 @@ class EventChannel final : public naut::LegacyChannel {
 
   // Allocate the shared channel page. Must be called before use.
   Status init();
+
+  // Ring geometry. Depth 1 (the default) also selects the eager doorbell,
+  // reproducing the single-slot protocol's cycle numbers exactly; deeper
+  // rings batch the doorbell. Clamped to [1, Ring::kMaxDepth]; must be set
+  // before traffic flows.
+  void set_ring_depth(unsigned depth);
+  [[nodiscard]] unsigned ring_depth() const noexcept { return depth_; }
+  [[nodiscard]] bool eager_doorbell() const noexcept { return eager_; }
 
   void bind_partner(ros::Thread* partner) { partner_ = partner; }
   [[nodiscard]] ros::Thread* partner() noexcept { return partner_; }
@@ -49,6 +106,8 @@ class EventChannel final : public naut::LegacyChannel {
   // --- HRT side (naut::LegacyChannel) ----------------------------------------
   Result<std::uint64_t> forward_syscall(
       ros::SysNr nr, std::array<std::uint64_t, 6> args) override;
+  std::vector<Result<std::uint64_t>> forward_syscall_batch(
+      const std::vector<ros::SysReq>& reqs) override;
   Status forward_fault(std::uint64_t vaddr, std::uint32_t error_code) override;
   void notify_thread_exit(int hrt_tid) override;
 
@@ -59,10 +118,16 @@ class EventChannel final : public naut::LegacyChannel {
   // Used by the shared-daemon execution-group mode, which multiplexes many
   // channels onto one ROS context.
   bool serve_pending(ros::Thread& server);
-  [[nodiscard]] bool has_request() const { return page_read(kOffKind) != kIdle; }
+  [[nodiscard]] bool has_request() const {
+    return page_read(Ring::kOffSubHead) != page_read(Ring::kOffSubTail);
+  }
   [[nodiscard]] bool exit_requested() const noexcept { return exit_; }
   // Flip the exit bit (invoked from the HVM "interrupt to user" handler).
-  void mark_exit();
+  // `hrt_tid` >= 0 records which HRT thread exited; both the injected-signal
+  // path and the direct fallback thread it through here.
+  void mark_exit(int hrt_tid = -1);
+  // ROS-side doorbell delivery (the runtime's kRaiseRos dispatcher).
+  void on_doorbell();
   // Override how the ROS-side server is woken (defaults to unblocking the
   // bound partner's task when it is idle in service_loop()).
   void set_wake_server(std::function<void()> wake) {
@@ -78,39 +143,51 @@ class EventChannel final : public naut::LegacyChannel {
   [[nodiscard]] std::uint64_t protocol_errors() const noexcept {
     return protocol_errors_;
   }
-  // acquire() calls that found the channel busy and had to queue.
+  // Slot claims that found the ring full and had to queue.
   [[nodiscard]] std::uint64_t contended_acquires() const noexcept {
     return contended_acquires_;
   }
+  // Doorbells raised on the async transport (eager: one per request;
+  // batched: one kRaiseRos per flush, so < 1 per request under load).
+  [[nodiscard]] std::uint64_t doorbells() const noexcept { return doorbells_; }
   [[nodiscard]] int exited_hrt_tid() const noexcept { return exited_tid_; }
+  // Shared-page base address (white-box protocol tests poke raw slot words).
+  [[nodiscard]] std::uint64_t page_base() const noexcept { return page_; }
 
  private:
-  // Request kinds on the channel page.
-  enum : std::uint64_t { kIdle = 0, kSyscall = 1, kFault = 2 };
-
-  // Channel page offsets.
-  enum : std::uint64_t {
-    kOffKind = 0x00,
-    kOffSysNr = 0x08,
-    kOffArgs = 0x10,   // 6 x u64
-    kOffVaddr = 0x40,
-    kOffError = 0x48,
-    kOffRspStatus = 0x50,
-    kOffRspValue = 0x58,
+  // Host-side bookkeeping per ring slot (requester identity and latency
+  // accounting live outside the simulated page).
+  struct SlotMeta {
+    TaskId requester = kNoTask;
+    Cycles begin = 0;
+    std::size_t kind_idx = 0;
+    std::size_t transport_idx = 0;
   };
 
   std::uint64_t page_read(std::uint64_t off) const;
   void page_write(std::uint64_t off, std::uint64_t value);
+  [[nodiscard]] std::uint64_t slot_base(std::uint64_t seq) const {
+    return Ring::kSlot0 + (seq % depth_) * Ring::kSlotStride;
+  }
 
   // Requester-side cycle clock (the HRT core all requesters run on).
   [[nodiscard]] Cycles requester_cycles() const;
-
-  // Serialize concurrent requesters (nested + top-level threads share the
-  // channel), then run the request/response round trip.
-  Result<std::uint64_t> roundtrip(std::uint64_t kind);
-  void acquire();
-  void release();
   [[nodiscard]] Cycles transport_cost() const;
+
+  // --- submission-side protocol ---------------------------------------------
+  // Claim the next free slot, blocking while the ring is full. The waiter
+  // enqueues itself exactly once per wait episode and drops its queue entry
+  // when it stops waiting, so stale TaskIds never linger in the queue.
+  std::uint64_t claim_slot();
+  [[nodiscard]] bool slot_is_free(std::uint64_t seq) const;
+  // Publish a claimed slot (kind + state + tail) and ring/flush the
+  // doorbell according to the eager/batched mode.
+  void submit(std::uint64_t seq, std::uint64_t kind);
+  // Block until `seq` completes, reap the completion, free the slot, and
+  // wake the next claim waiter. Validates the raw status word.
+  Result<std::uint64_t> complete(std::uint64_t seq);
+  void wake_partner();
+  void wake_next_claimer();
 
   vmm::Hvm* hvm_;
   ros::LinuxSim* linux_;
@@ -121,27 +198,30 @@ class EventChannel final : public naut::LegacyChannel {
   ros::Thread* partner_ = nullptr;
   bool sync_mode_ = false;
   std::uint64_t sync_vaddr_ = 0;
+  unsigned depth_ = 1;
+  bool eager_ = true;
 
   std::function<void()> wake_server_;
-  bool busy_ = false;
-  std::deque<TaskId> acquire_waiters_;
-  TaskId requester_ = kNoTask;
-  bool response_ready_ = false;
+  std::deque<TaskId> claim_waiters_;
+  std::array<SlotMeta, Ring::kMaxDepth> slots_{};
   bool partner_idle_ = false;
   bool exit_ = false;
   int exited_tid_ = -1;
   std::uint64_t requests_served_ = 0;
   std::uint64_t protocol_errors_ = 0;
   std::uint64_t contended_acquires_ = 0;
+  std::uint64_t doorbells_ = 0;
 
   // Cached metrics instruments, resolved once at construction:
   // latency_[kind][transport] with kind in {syscall, fault} and transport in
   // {async, sync}. Recording is in simulated cycles and charges none.
   metrics::Histogram* latency_metric_[2][2] = {};
   metrics::Histogram* queue_wait_metric_ = nullptr;
+  metrics::Histogram* occupancy_metric_ = nullptr;
   metrics::Counter* served_metric_ = nullptr;
   metrics::Counter* protocol_error_metric_ = nullptr;
   metrics::Counter* contended_metric_ = nullptr;
+  metrics::Counter* doorbell_metric_ = nullptr;
 };
 
 }  // namespace mv::multiverse

@@ -54,6 +54,45 @@ Result<std::uint64_t> HrtCtx::syscall(ros::SysNr nr,
   return result;
 }
 
+std::vector<Result<std::uint64_t>> HrtCtx::syscall_batch(
+    const std::vector<ros::SysReq>& reqs) {
+  std::vector<Result<std::uint64_t>> out(reqs.size(),
+                                         err(Err::kAgain, "batch pending"));
+  naut::Nautilus& naut = rt_->naut();
+  std::vector<ros::SysReq> run;
+  std::vector<std::size_t> run_at;
+  const auto flush = [&] {
+    if (run.empty()) return;
+    auto results = naut.syscall_stub_batch(run);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      out[run_at[i]] = std::move(results[i]);
+    }
+    run.clear();
+    run_at.clear();
+  };
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const OverrideSpec* spec = nullptr;
+    switch (reqs[i].nr) {
+      case ros::SysNr::kMmap: spec = rt_->config().find("mmap"); break;
+      case ros::SysNr::kMunmap: spec = rt_->config().find("munmap"); break;
+      case ros::SysNr::kMprotect: spec = rt_->config().find("mprotect"); break;
+      default: break;
+    }
+    if (spec != nullptr || reqs[i].nr == ros::SysNr::kExitGroup) {
+      // Overridden memory calls execute kernel-mode (never forwarded) and
+      // exits must keep their group-finished side effect; flushing the
+      // accumulated run first preserves submission order.
+      flush();
+      out[i] = syscall(reqs[i].nr, reqs[i].args);
+    } else {
+      run.push_back(reqs[i]);
+      run_at.push_back(i);
+    }
+  }
+  flush();
+  return out;
+}
+
 Status HrtCtx::mem_read(std::uint64_t vaddr, void* out, std::uint64_t len) {
   return rt_->naut().hrt_mem_read(vaddr, out, len);
 }
@@ -222,6 +261,13 @@ Status MultiverseRuntime::startup(ros::Thread& main_thread,
   hvm_->register_ros_user_interrupt(
       /*handler_id=*/1,
       [this](std::uint64_t payload) { on_user_interrupt(payload); });
+  // Ring doorbells land here: one kRaiseRos flushes a channel's whole
+  // pending window, and the dispatcher wakes that channel's server.
+  hvm_->register_ros_doorbell(
+      [this](std::uint64_t chan_id, std::uint64_t /*count*/) {
+        const auto it = groups_by_id_.find(static_cast<int>(chan_id));
+        if (it != groups_by_id_.end()) it->second->channel->on_doorbell();
+      });
 
   // 4. AeroKernel function linkage.
   link_aerokernel_functions();
@@ -301,8 +347,9 @@ void MultiverseRuntime::on_user_interrupt(std::uint64_t hrt_tid) {
     return;
   }
   // "The thread exit signal handler in the ROS flips a bit in the
-  // appropriate partner thread's data structure."
-  it->second->channel->mark_exit();
+  // appropriate partner thread's data structure." The payload names the
+  // exiting HRT thread, so the channel records it on this path too.
+  it->second->channel->mark_exit(static_cast<int>(hrt_tid));
 }
 
 Result<ExecGroup*> MultiverseRuntime::create_group(ros::Thread& caller,
@@ -315,6 +362,8 @@ Result<ExecGroup*> MultiverseRuntime::create_group(ros::Thread& caller,
   const unsigned hrt_core = hvm_->config().hrt_cores.front();
   group->channel = std::make_unique<EventChannel>(*hvm_, *linux_, *sched_,
                                                   hrt_core, group->id);
+  group->channel->set_ring_depth(
+      static_cast<unsigned>(config_.options.ring_depth));
   MV_RETURN_IF_ERROR(group->channel->init());
 
   ExecGroup* raw = group.get();

@@ -66,6 +66,11 @@ class HrtCtx final : public ros::SysIface {
 
   Result<std::uint64_t> syscall(ros::SysNr nr,
                                 std::array<std::uint64_t, 6> args) override;
+  // Batched forwarding: runs of non-overridden syscalls go through the
+  // Nautilus batch stub (one channel flush per run); overridden memory calls
+  // and exits keep their direct paths, in order.
+  std::vector<Result<std::uint64_t>> syscall_batch(
+      const std::vector<ros::SysReq>& reqs) override;
   Status mem_read(std::uint64_t vaddr, void* out, std::uint64_t len) override;
   Status mem_write(std::uint64_t vaddr, const void* in,
                    std::uint64_t len) override;

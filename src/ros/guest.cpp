@@ -17,6 +17,14 @@ Status SysIface::unstage(std::uint64_t off, void* out, std::uint64_t len) {
   return mem_read(scratch_base() + off, out, len);
 }
 
+std::vector<Result<std::uint64_t>> SysIface::syscall_batch(
+    const std::vector<SysReq>& reqs) {
+  std::vector<Result<std::uint64_t>> out;
+  out.reserve(reqs.size());
+  for (const SysReq& req : reqs) out.push_back(syscall(req.nr, req.args));
+  return out;
+}
+
 Result<std::uint64_t> SysIface::mmap(std::uint64_t addr, std::uint64_t len,
                                      int prot, int flags) {
   return syscall(SysNr::kMmap,

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "hw/paging.hpp"
 #include "ros/types.hpp"
@@ -34,6 +35,15 @@ class SysIface {
   // --- raw syscall ---------------------------------------------------------
   virtual Result<std::uint64_t> syscall(SysNr nr,
                                         std::array<std::uint64_t, 6> args) = 0;
+
+  // Submit several independent syscalls at once; results come back in
+  // submission order. The default executes them sequentially (native and
+  // virtual modes have nothing to batch); the HRT context overrides this to
+  // stage the whole batch on the event-channel submission ring, so storms
+  // like the GC's mmap/mprotect bursts pay one doorbell instead of one
+  // round trip per call.
+  virtual std::vector<Result<std::uint64_t>> syscall_batch(
+      const std::vector<SysReq>& reqs);
 
   // --- user-mode memory access (faults are taken and serviced) -------------
   virtual Status mem_read(std::uint64_t vaddr, void* out,

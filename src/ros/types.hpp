@@ -3,6 +3,7 @@
 // Linux ABI surface constants. Values mirror x86-64 Linux so traces and
 // histograms read like the paper's (Figs 11/12 are keyed by syscall name).
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -53,6 +54,14 @@ enum class SysNr : std::uint32_t {
 };
 
 const char* sysnr_name(SysNr nr) noexcept;
+
+// One raw system call request, as staged in a submission batch. The batch
+// paths (SysIface::syscall_batch, the event-channel submission ring) carry
+// vectors of these instead of one (nr, args) pair at a time.
+struct SysReq {
+  SysNr nr{};
+  std::array<std::uint64_t, 6> args{};
+};
 
 // --- mmap ------------------------------------------------------------------
 inline constexpr int kProtNone = 0;

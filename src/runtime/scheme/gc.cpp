@@ -1,5 +1,7 @@
 #include "runtime/scheme/gc.hpp"
 
+#include <algorithm>
+
 #include "hw/phys_mem.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -58,12 +60,36 @@ Status Heap::init() {
   MV_RETURN_IF_ERROR(sys().sigaction(ros::kSigSegv, barrier_handler_));
   // Premap an initial arena then release part of it after the boot-time
   // sizing pass, as real runtimes do at startup (the mmap/munmap storm that
-  // dominates Fig 11).
-  for (int i = 0; i < config_.startup_chunks; ++i) {
-    MV_RETURN_IF_ERROR(map_chunk());
+  // dominates Fig 11). Both storms go through the batch interface: in native
+  // mode that is the same sequential syscall loop, in hybrid mode the whole
+  // storm is staged in the channel ring and blocks once.
+  std::vector<ros::SysReq> maps(
+      static_cast<std::size_t>(std::max(config_.startup_chunks, 0)));
+  for (ros::SysReq& req : maps) {
+    req.nr = ros::SysNr::kMmap;
+    req.args = {0, config_.chunk_bytes, ros::kProtRead | ros::kProtWrite,
+                ros::kMapPrivate | ros::kMapAnonymous, 0, 0};
   }
-  for (int i = 0; i < config_.startup_trim && !chunks_.empty(); ++i) {
-    unmap_chunk(chunks_.size() - 1);
+  for (Result<std::uint64_t>& base : sys().syscall_batch(maps)) {
+    if (!base) return base.status();
+    add_chunk(*base);
+    ++stats_.chunks_mapped;
+  }
+  const std::size_t trim = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(config_.startup_trim, 0)),
+      chunks_.size());
+  std::vector<ros::SysReq> unmaps;
+  unmaps.reserve(trim);
+  for (std::size_t i = 0; i < trim; ++i) {
+    // Same release order as the sequential pass: newest chunk first.
+    const Chunk& chunk = *chunks_[chunks_.size() - 1 - i];
+    unmaps.push_back(ros::SysReq{ros::SysNr::kMunmap,
+                                 {chunk.guest_base, config_.chunk_bytes}});
+  }
+  (void)sys().syscall_batch(unmaps);
+  for (std::size_t i = 0; i < trim; ++i) {
+    chunks_.pop_back();
+    ++stats_.chunks_unmapped;
   }
   initialized_ = true;
   return Status::ok();
@@ -74,20 +100,24 @@ Status Heap::map_chunk() {
                          ros::kProtRead | ros::kProtWrite,
                          ros::kMapPrivate | ros::kMapAnonymous);
   if (!base) return base.status();
+  add_chunk(*base);
+  ++stats_.chunks_mapped;
+  return Status::ok();
+}
+
+void Heap::add_chunk(std::uint64_t guest_base) {
   auto chunk = std::make_unique<Chunk>();
-  chunk->guest_base = *base;
+  chunk->guest_base = guest_base;
   const std::uint64_t n = cells_per_chunk();
   chunk->cells.reserve(n);
   chunk->free_list.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     auto cell = std::make_unique<Cell>();
-    cell->guest_addr = *base + i * config_.cell_bytes;
+    cell->guest_addr = guest_base + i * config_.cell_bytes;
     chunk->free_list.push_back(cell.get());
     chunk->cells.push_back(std::move(cell));
   }
   chunks_.push_back(std::move(chunk));
-  ++stats_.chunks_mapped;
-  return Status::ok();
 }
 
 void Heap::unmap_chunk(std::size_t index) {
@@ -235,12 +265,21 @@ void Heap::collect() {
   // generational dirty-bit pattern). Empty chunks stay writable — they are
   // the nursery the allocator draws from.
   if (config_.write_barriers) {
+    // The whole mprotect storm goes out as one batch (one channel doorbell
+    // in hybrid mode; the identical sequential loop in native mode).
+    std::vector<ros::SysReq> protects;
+    std::vector<Chunk*> armed;
     for (auto& chunk : chunks_) {
       if (chunk->live > 0 && !chunk->protected_) {
-        (void)sys().mprotect(chunk->guest_base, config_.chunk_bytes,
-                             ros::kProtRead);
-        chunk->protected_ = true;
+        protects.push_back(ros::SysReq{
+            ros::SysNr::kMprotect,
+            {chunk->guest_base, config_.chunk_bytes, ros::kProtRead}});
+        armed.push_back(chunk.get());
       }
+    }
+    if (!protects.empty()) {
+      (void)sys().syscall_batch(protects);
+      for (Chunk* chunk : armed) chunk->protected_ = true;
     }
   }
   // GC work is guest compute.

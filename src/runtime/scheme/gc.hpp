@@ -123,6 +123,8 @@ class Heap {
   std::vector<Value>& current_stack();
 
   Status map_chunk();
+  // Host-side bookkeeping for a freshly mmap'ed chunk base.
+  void add_chunk(std::uint64_t guest_base);
   void unmap_chunk(std::size_t index);
   void mark(Value v);
   void mark_cell(Cell* cell);

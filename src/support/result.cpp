@@ -44,6 +44,38 @@ const char* err_name(Err e) noexcept {
   return "UNKNOWN";
 }
 
+bool err_code_is_known(std::uint64_t code) noexcept {
+  switch (static_cast<Err>(code)) {
+    case Err::kOk:
+    case Err::kPerm:
+    case Err::kNoEnt:
+    case Err::kIntr:
+    case Err::kIo:
+    case Err::kBadFd:
+    case Err::kAgain:
+    case Err::kNoMem:
+    case Err::kAccess:
+    case Err::kFault:
+    case Err::kExist:
+    case Err::kNotDir:
+    case Err::kIsDir:
+    case Err::kInval:
+    case Err::kMFile:
+    case Err::kNoSpc:
+    case Err::kRange:
+    case Err::kNoSys:
+    case Err::kBadAddr:
+    case Err::kPageFault:
+    case Err::kProtocol:
+    case Err::kState:
+    case Err::kLimit:
+    case Err::kParse:
+    case Err::kUnsupported:
+      return code == static_cast<std::uint64_t>(static_cast<Err>(code));
+  }
+  return false;
+}
+
 std::string Status::to_string() const {
   std::string s = err_name(code_);
   if (!detail_.empty()) {

@@ -5,6 +5,7 @@
 // errors (bad addresses, EFAULT, ...) are ordinary control flow there.
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -44,6 +45,11 @@ enum class Err : int {
 };
 
 const char* err_name(Err e) noexcept;
+
+// Whether a raw status word (e.g. read back from a shared protocol page)
+// names a known Err value. Untrusted status words must pass this before
+// being cast to Err — an arbitrary integer would fabricate an invalid enum.
+bool err_code_is_known(std::uint64_t code) noexcept;
 
 // A status is an error code plus an optional human-readable detail message.
 class Status {

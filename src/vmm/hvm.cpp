@@ -19,6 +19,7 @@ const char* hypercall_name(Hypercall h) noexcept {
     case Hypercall::kHrtDone: return "hrt_done";
     case Hypercall::kSignalRos: return "signal_ros";
     case Hypercall::kRegisterRosSignal: return "register_ros_signal";
+    case Hypercall::kRaiseRos: return "raise_ros";
     case Hypercall::kCount_: break;
   }
   return "?";
@@ -220,6 +221,21 @@ Result<std::uint64_t> Hvm::hypercall(unsigned vcore, Hypercall nr,
       ros_user_interrupt_(a0);
       return std::uint64_t{0};
     }
+    case Hypercall::kRaiseRos: {
+      if (!is_hrt_core(vcore)) {
+        return err(Err::kPerm, "kRaiseRos from non-HRT core");
+      }
+      if (!ros_doorbell_) {
+        return err(Err::kState, "no ROS doorbell registered");
+      }
+      // One doorbell flushes a0's whole pending window: the VMM injects a
+      // single event into the ROS side regardless of how many submissions
+      // the ring holds — that is the entire point of batching.
+      core.charge(hw::costs().event_inject);
+      count_injection(config_.ros_cores.front(), "inject:doorbell");
+      ros_doorbell_(a0, a1);
+      return std::uint64_t{0};
+    }
     case Hypercall::kRegisterRosSignal:
       ros_signal_handler_ = a0;
       return std::uint64_t{0};
@@ -235,6 +251,10 @@ void Hvm::register_ros_user_interrupt(std::uint64_t handler_id,
                                       UserInterrupt fn) {
   ros_signal_handler_ = handler_id;
   ros_user_interrupt_ = std::move(fn);
+}
+
+void Hvm::register_ros_doorbell(RosDoorbell fn) {
+  ros_doorbell_ = std::move(fn);
 }
 
 }  // namespace mv::vmm

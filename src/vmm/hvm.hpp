@@ -33,6 +33,8 @@ enum class Hypercall : std::uint32_t {
   kHrtDone,          // HRT signals completion of the current request
   kSignalRos,        // HRT raises an async signal to the ROS application
   kRegisterRosSignal,  // ROS app registers its signal handler + stack
+  kRaiseRos,         // channel doorbell: a0 = channel id, a1 = pending
+                     // submissions flushed by this one hypercall
   kCount_,
 };
 
@@ -112,6 +114,12 @@ class Hvm {
   // Multiverse runtime registers this callback.
   using UserInterrupt = std::function<void(std::uint64_t payload)>;
 
+  // Channel doorbell delivery: invoked when the HRT flushes a batch of ring
+  // submissions with one kRaiseRos hypercall. Arguments are the channel id
+  // and the number of submissions the flush covered.
+  using RosDoorbell = std::function<void(std::uint64_t chan_id,
+                                         std::uint64_t count)>;
+
   // --- hypercall interface (called from guest code on `vcore`) -----------
   // Install a serialized AeroKernel image into HRT-private physical memory;
   // returns the physical load base.
@@ -124,6 +132,10 @@ class Hvm {
   // Register the ROS application's signal handler trampoline (normally via
   // the kRegisterRosSignal hypercall; exposed directly for the runtime).
   void register_ros_user_interrupt(std::uint64_t handler_id, UserInterrupt fn);
+
+  // Register the ROS-side doorbell dispatcher for kRaiseRos (the Multiverse
+  // runtime routes it to the channel's server wake path).
+  void register_ros_doorbell(RosDoorbell fn);
 
   // --- shared data page access (both sides use these) ---------------------
   [[nodiscard]] std::uint64_t comm_read(std::uint64_t offset) const;
@@ -182,6 +194,7 @@ class Hvm {
   Cycles last_boot_cycles_ = 0;
   std::uint64_t ros_signal_handler_ = 0;
   UserInterrupt ros_user_interrupt_;
+  RosDoorbell ros_doorbell_;
 };
 
 }  // namespace mv::vmm

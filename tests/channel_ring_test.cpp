@@ -1,0 +1,356 @@
+// Event-channel ring protocol tests: the batched submission/completion ring
+// that replaced the single-slot channel page, plus regression tests for the
+// protocol bugs fixed alongside it (stale claim-waiter entries, the exit-tid
+// recording paths, and raw status-word validation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "multiverse/system.hpp"
+#include "support/metrics.hpp"
+#include "support/strings.hpp"
+
+namespace mv::multiverse {
+namespace {
+
+using ros::SysIface;
+using ros::SysNr;
+
+// White-box rig: a bare channel between an HRT-core requester task and a ROS
+// guest thread, no Multiverse runtime in between.
+struct ChannelRig {
+  hw::Machine machine;
+  Sched sched;
+  vmm::Hvm hvm{machine, {}};
+  ros::LinuxSim kernel{machine, sched, {}};
+  EventChannel chan{hvm, kernel, sched, /*hrt_core=*/1, /*id=*/90};
+
+  // Spawn the partner thread; `serve` selects whether it runs the service
+  // loop or just binds and returns.
+  ros::Process* start_partner(bool serve) {
+    auto proc = kernel.spawn("partner", [this, serve](SysIface&) {
+      chan.bind_partner(kernel.current_thread());
+      if (serve) chan.service_loop();
+      return 0;
+    });
+    EXPECT_TRUE(proc.is_ok());
+    return proc.is_ok() ? *proc : nullptr;
+  }
+};
+
+TEST(ChannelRingTest, StatusWordValidation) {
+  // err_code_is_known guards the raw status word read back from the shared
+  // page: known codes round-trip, garbage and high-bit aliases do not.
+  EXPECT_TRUE(err_code_is_known(static_cast<std::uint64_t>(Err::kNoEnt)));
+  EXPECT_TRUE(err_code_is_known(static_cast<std::uint64_t>(Err::kProtocol)));
+  EXPECT_FALSE(err_code_is_known(0xBEEF));
+  EXPECT_FALSE(err_code_is_known((1ull << 32) |
+                                 static_cast<std::uint64_t>(Err::kNoEnt)));
+}
+
+TEST(ChannelRingTest, OutOfRangeStatusCountsAsProtocolError) {
+  // Regression: the old protocol blindly static_cast the raw status word
+  // into Err, fabricating nonsense error values from a corrupt partner. An
+  // out-of-range word must surface as kProtocol and count as a protocol
+  // error.
+  ChannelRig rig;
+  ASSERT_TRUE(rig.chan.init().is_ok());
+  ASSERT_NE(rig.start_partner(/*serve=*/false), nullptr);
+
+  Result<std::uint64_t> res = err(Err::kState, "never ran");
+  const TaskId requester = rig.sched.spawn(
+      1, [&] { res = rig.chan.forward_syscall(SysNr::kGetpid, {}); }, "req");
+  // Rogue "partner": completes the slot with a garbage status word.
+  rig.sched.spawn(
+      0,
+      [&] {
+        auto& mem = rig.machine.mem();
+        const std::uint64_t page = rig.chan.page_base();
+        const std::uint64_t slot = page + EventChannel::Ring::kSlot0;
+        ASSERT_TRUE(
+            mem.write_u64(slot + EventChannel::Ring::kSlotRspStatus, 0xBEEF)
+                .is_ok());
+        ASSERT_TRUE(mem.write_u64(slot + EventChannel::Ring::kSlotState,
+                                  EventChannel::Ring::kCompleted)
+                        .is_ok());
+        ASSERT_TRUE(
+            mem.write_u64(page + EventChannel::Ring::kOffSubHead, 1).is_ok());
+        rig.sched.unblock(requester);
+      },
+      "rogue");
+  ASSERT_TRUE(rig.sched.run().is_ok());
+  EXPECT_EQ(res.code(), Err::kProtocol);
+  EXPECT_EQ(rig.chan.protocol_errors(), 1u);
+}
+
+TEST(ChannelRingTest, ExitTidRecordedOnBothSignalPaths) {
+  // Regression: exited_hrt_tid() was only recorded on the hypercall-failure
+  // fallback. Both the injected-signal path and the fallback must record the
+  // exiting thread.
+  {
+    // Fallback path: no ROS signal handler registered -> the kSignalRos
+    // hypercall fails and notify_thread_exit flips the bit directly.
+    ChannelRig rig;
+    ASSERT_TRUE(rig.chan.init().is_ok());
+    rig.chan.notify_thread_exit(7);
+    EXPECT_TRUE(rig.chan.exit_requested());
+    EXPECT_EQ(rig.chan.exited_hrt_tid(), 7);
+  }
+  {
+    // Injected-signal path: the registered handler (the runtime, here
+    // simulated directly) receives the tid payload and threads it through
+    // mark_exit.
+    ChannelRig rig;
+    ASSERT_TRUE(rig.chan.init().is_ok());
+    rig.hvm.register_ros_user_interrupt(
+        /*handler_id=*/1, [&rig](std::uint64_t tid) {
+          rig.chan.mark_exit(static_cast<int>(tid));
+        });
+    rig.chan.notify_thread_exit(5);
+    EXPECT_TRUE(rig.chan.exit_requested());
+    EXPECT_EQ(rig.chan.exited_hrt_tid(), 5);
+  }
+}
+
+TEST(ChannelRingTest, ClaimWaitersNeverStrandUnderContention) {
+  // Regression: the old acquire() pushed the current task into the waiter
+  // queue on every loop iteration, littering it with stale duplicates. The
+  // ring's claim path enqueues once per wait episode and drops its entry on
+  // exit; heavy contention must neither deadlock nor desync the queue-wait
+  // sample count from the contended-acquire count.
+  metrics::Registry::instance().reset();
+  ChannelRig rig;
+  ASSERT_TRUE(rig.chan.init().is_ok());
+  ASSERT_NE(rig.start_partner(/*serve=*/true), nullptr);
+
+  int completed = 0;
+  for (int t = 0; t < 3; ++t) {
+    rig.sched.spawn(
+        1,
+        [&] {
+          for (int i = 0; i < 2; ++i) {
+            auto r = rig.chan.forward_syscall(SysNr::kGetpid, {});
+            ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+            ++completed;
+          }
+          // Only the last finisher releases the service loop: an earlier
+          // exit would let the partner return before the stragglers submit.
+          if (completed == 6) rig.chan.mark_exit();
+        },
+        strfmt("req%d", t));
+  }
+  ASSERT_TRUE(rig.sched.run().is_ok()) << "lost wakeup stranded a waiter";
+  EXPECT_EQ(completed, 6);
+  EXPECT_EQ(rig.chan.requests_served(), 6u);
+  EXPECT_GT(rig.chan.contended_acquires(), 0u);
+
+  std::uint64_t wait_samples = 0;
+  for (const auto& [name, h] :
+       metrics::Registry::instance().histograms_with_prefix("channel/90/")) {
+    if (name.find("queue_wait") != std::string::npos) wait_samples += h->count();
+  }
+  EXPECT_EQ(wait_samples, rig.chan.contended_acquires());
+}
+
+TEST(ChannelRingTest, RingWrapsAroundWithDepthFour) {
+  // Free-running sequence numbers must index slots mod depth: 10 requests
+  // through a depth-4 ring wrap the slot array twice and all complete.
+  ChannelRig rig;
+  rig.chan.set_ring_depth(4);
+  EXPECT_FALSE(rig.chan.eager_doorbell());
+  ASSERT_TRUE(rig.chan.init().is_ok());
+  auto* proc = rig.start_partner(/*serve=*/true);
+  ASSERT_NE(proc, nullptr);
+
+  int ok = 0;
+  rig.sched.spawn(
+      1,
+      [&] {
+        for (int i = 0; i < 10; ++i) {
+          auto r = rig.chan.forward_syscall(SysNr::kGetpid, {});
+          ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+          EXPECT_EQ(*r, static_cast<std::uint64_t>(proc->pid));
+          ++ok;
+        }
+        rig.chan.mark_exit();
+      },
+      "wrapper");
+  ASSERT_TRUE(rig.sched.run().is_ok());
+  EXPECT_EQ(ok, 10);
+  EXPECT_EQ(rig.chan.requests_served(), 10u);
+  EXPECT_EQ(rig.chan.protocol_errors(), 0u);
+}
+
+TEST(ChannelRingTest, BatchCompletesInSubmissionOrderAndCoalescesDoorbells) {
+  // One batch larger than the ring: the sliding window submits while slots
+  // are free and reaps the oldest when the ring backs up. Results come back
+  // in submission order, and the whole batch rings far fewer doorbells than
+  // it has requests.
+  ChannelRig rig;
+  rig.chan.set_ring_depth(4);
+  ASSERT_TRUE(rig.chan.init().is_ok());
+  auto* proc = rig.start_partner(/*serve=*/true);
+  ASSERT_NE(proc, nullptr);
+
+  std::vector<Result<std::uint64_t>> results;
+  rig.sched.spawn(
+      1,
+      [&] {
+        std::vector<ros::SysReq> reqs(8);
+        for (auto& req : reqs) req.nr = SysNr::kGetpid;
+        results = rig.chan.forward_syscall_batch(reqs);
+        rig.chan.mark_exit();
+      },
+      "batcher");
+  ASSERT_TRUE(rig.sched.run().is_ok());
+  ASSERT_EQ(results.size(), 8u);
+  for (auto& r : results) {
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    EXPECT_EQ(*r, static_cast<std::uint64_t>(proc->pid));
+  }
+  EXPECT_EQ(rig.chan.requests_served(), 8u);
+  // Batched async transport: one kRaiseRos per flush window, not per request.
+  EXPECT_GE(rig.chan.doorbells(), 1u);
+  EXPECT_LT(rig.chan.doorbells(), 8u);
+}
+
+TEST(ChannelRingTest, EagerDepthOneRingsOneDoorbellPerRequest) {
+  // Depth 1 keeps the single-slot protocol's behaviour: every async request
+  // is its own doorbell (ratio exactly 1).
+  ChannelRig rig;
+  ASSERT_TRUE(rig.chan.init().is_ok());
+  ASSERT_NE(rig.start_partner(/*serve=*/true), nullptr);
+  EXPECT_TRUE(rig.chan.eager_doorbell());
+
+  rig.sched.spawn(
+      1,
+      [&] {
+        for (int i = 0; i < 5; ++i) {
+          ASSERT_TRUE(rig.chan.forward_syscall(SysNr::kGetpid, {}).is_ok());
+        }
+        rig.chan.mark_exit();
+      },
+      "eager");
+  ASSERT_TRUE(rig.sched.run().is_ok());
+  EXPECT_EQ(rig.chan.doorbells(), 5u);
+  EXPECT_EQ(rig.chan.requests_served(), 5u);
+}
+
+TEST(ChannelRingTest, ExitWhileBatchInFlightDrainsRing) {
+  // The exit signal lands while a whole batch sits in the ring: the service
+  // loop must drain every submitted slot before honouring the exit, and no
+  // requester may deadlock on a dropped completion.
+  ChannelRig rig;
+  rig.chan.set_ring_depth(4);
+  ASSERT_TRUE(rig.chan.init().is_ok());
+  auto* proc = rig.start_partner(/*serve=*/true);
+  ASSERT_NE(proc, nullptr);
+
+  std::vector<Result<std::uint64_t>> results;
+  rig.sched.spawn(
+      1,
+      [&] {
+        std::vector<ros::SysReq> reqs(3);
+        for (auto& req : reqs) req.nr = SysNr::kGetpid;
+        results = rig.chan.forward_syscall_batch(reqs);
+      },
+      "batcher");
+  // Runs after the batcher has staged its submissions but before the partner
+  // drained them (round-robin order).
+  rig.sched.spawn(0, [&] { rig.chan.mark_exit(); }, "exiter");
+
+  ASSERT_TRUE(rig.sched.run().is_ok()) << "exit dropped in-flight batch";
+  ASSERT_EQ(results.size(), 3u);
+  for (auto& r : results) {
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    EXPECT_EQ(*r, static_cast<std::uint64_t>(proc->pid));
+  }
+  EXPECT_EQ(rig.chan.requests_served(), 3u);
+  EXPECT_TRUE(rig.chan.exit_requested());
+  EXPECT_EQ(rig.chan.protocol_errors(), 0u);
+}
+
+TEST(ChannelRingTest, FullRingBackpressuresNestedThreads) {
+  // Integration: four nested HRT threads share a depth-2 ring. Claims beyond
+  // the ring capacity must queue (visible as contended acquires) and every
+  // request must still complete.
+  metrics::Registry::instance().reset();
+  SystemConfig cfg;
+  cfg.extra_override_config = "option ring_depth 2\n";
+  HybridSystem sys(cfg);
+  auto r = sys.run_hybrid("backpressure", [](SysIface& s) {
+    std::vector<int> tids;
+    for (int i = 0; i < 4; ++i) {
+      auto tid = s.thread_create([](SysIface& ts) {
+        for (int j = 0; j < 8; ++j) (void)ts.getcwd();
+      });
+      EXPECT_TRUE(tid.is_ok());
+      tids.push_back(*tid);
+    }
+    for (const int tid : tids) EXPECT_TRUE(s.thread_join(tid).is_ok());
+    return 0;
+  });
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r->exit_code, 0);
+  EXPECT_GE(r->syscall_histogram["getcwd"], 32u);
+
+  std::uint64_t contended = 0;
+  for (const auto& [name, c] :
+       metrics::Registry::instance().counters_with_prefix("channel/")) {
+    if (name.find("contended_acquires") != std::string::npos) {
+      contended += c->value();
+    }
+  }
+  EXPECT_GT(contended, 0u);
+}
+
+TEST(ChannelRingTest, BatchedMmapsServeInSubmissionOrder) {
+  // Integration: a guest-visible syscall batch rides the ring end to end.
+  // mmap hands out addresses top-down, monotonically in service order, so
+  // strictly decreasing results prove the ring served the batch in
+  // submission order.
+  SystemConfig cfg;
+  cfg.extra_override_config = "option ring_depth 4\n";
+  HybridSystem sys(cfg);
+  auto r = sys.run_hybrid("batch-order", [](SysIface& s) {
+    std::vector<ros::SysReq> reqs(6);
+    for (auto& req : reqs) {
+      req.nr = SysNr::kMmap;
+      req.args = {0, hw::kPageSize, ros::kProtRead | ros::kProtWrite,
+                  ros::kMapPrivate | ros::kMapAnonymous, 0, 0};
+    }
+    auto results = s.syscall_batch(reqs);
+    if (results.size() != 6) return 1;
+    std::uint64_t prev = ~std::uint64_t{0};
+    for (auto& res : results) {
+      if (!res.is_ok() || *res >= prev) return 2;
+      prev = *res;
+    }
+    for (auto& res : results) {
+      if (!s.munmap(*res, hw::kPageSize).is_ok()) return 3;
+    }
+    return 0;
+  });
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r->exit_code, 0);
+  EXPECT_GT(r->forwarded_syscalls, 0u);
+}
+
+TEST(ChannelRingTest, RingDepthOptionParsesAndClamps) {
+  auto cfg = parse_override_config("option ring_depth 4\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg->options.ring_depth, 4);
+  EXPECT_EQ(parse_override_config("option ring_depth 0\n").code(), Err::kParse);
+  EXPECT_EQ(parse_override_config("option ring_depth x\n").code(), Err::kParse);
+  // The channel clamps absurd depths to its slot-array maximum.
+  ChannelRig rig;
+  rig.chan.set_ring_depth(10000);
+  EXPECT_EQ(rig.chan.ring_depth(), EventChannel::Ring::kMaxDepth);
+  rig.chan.set_ring_depth(0);
+  EXPECT_EQ(rig.chan.ring_depth(), 1u);
+  EXPECT_TRUE(rig.chan.eager_doorbell());
+}
+
+}  // namespace
+}  // namespace mv::multiverse

@@ -463,6 +463,17 @@ TEST_P(TracePropertyTest, NativeAndHybridFaultCountsMatch) {
   EXPECT_EQ(native->minor_faults, hybrid->minor_faults);
   EXPECT_EQ(native->major_faults, hybrid->major_faults);
   EXPECT_GT(hybrid->forwarded_faults, 0u);
+
+  // The fault-trace equivalence must be ring-depth independent: the batched
+  // channel protocol (depth > 1) may not reorder or drop forwarded work.
+  multiverse::SystemConfig ring_cfg;
+  ring_cfg.extra_override_config = "option ring_depth 4\n";
+  multiverse::HybridSystem ring_sys(ring_cfg);
+  auto ringed = ring_sys.run_hybrid("trace", workload);
+  ASSERT_TRUE(ringed.is_ok());
+  EXPECT_EQ(native->minor_faults, ringed->minor_faults);
+  EXPECT_EQ(native->major_faults, ringed->major_faults);
+  EXPECT_EQ(hybrid->forwarded_faults, ringed->forwarded_faults);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TracePropertyTest,
