@@ -1,5 +1,6 @@
 #include "hw/machine.hpp"
 
+#include "support/faultplan.hpp"
 #include "support/strings.hpp"
 #include "support/trace.hpp"
 
@@ -40,13 +41,30 @@ Status Machine::send_ipi(unsigned from, unsigned to, std::uint8_t vector,
   return core(to).deliver(frame);
 }
 
+void Machine::shootdown_ipi_round(Core& init, unsigned target) {
+  init.charge(costs().tlb_shootdown_ipi);
+  ++ipis_sent_;
+  if (fault_plan_ != nullptr &&
+      fault_plan_->should_inject(FaultClass::kDropShootdownIpi,
+                                 init.cycles())) {
+    // The IPI was lost on the wire. The initiator's ack timeout expires and
+    // it resends — a full extra round. Recovery is bounded and local, so the
+    // invalidation below still happens; only latency (and the IPI count)
+    // shows the fault.
+    fault_plan_->note_injected(FaultClass::kDropShootdownIpi);
+    init.charge(costs().tlb_shootdown_ipi);
+    ++ipis_sent_;
+    fault_plan_->note_recovered(FaultClass::kDropShootdownIpi);
+  }
+  (void)target;
+}
+
 void Machine::tlb_shootdown(unsigned initiator,
                             const std::vector<unsigned>& targets,
                             std::uint64_t vaddr) {
   Core& init = core(initiator);
   for (unsigned t : targets) {
-    init.charge(costs().tlb_shootdown_ipi);
-    ++ipis_sent_;
+    shootdown_ipi_round(init, t);
     Core& target = core(t);
     if (vaddr == 0) {
       target.tlb().flush();
@@ -59,6 +77,23 @@ void Machine::tlb_shootdown(unsigned initiator,
     init.tlb().flush();
   } else {
     init.tlb().invalidate_page(vaddr);
+  }
+}
+
+void Machine::tlb_shootdown(unsigned initiator,
+                            const std::vector<unsigned>& targets,
+                            const std::vector<std::uint64_t>& vaddrs) {
+  if (vaddrs.empty()) return;
+  Core& init = core(initiator);
+  for (unsigned t : targets) {
+    shootdown_ipi_round(init, t);
+    Core& target = core(t);
+    for (const std::uint64_t va : vaddrs) {
+      target.tlb().invalidate_page(va);
+    }
+  }
+  for (const std::uint64_t va : vaddrs) {
+    init.tlb().invalidate_page(va);
   }
 }
 

@@ -13,6 +13,10 @@
 #include "hw/phys_mem.hpp"
 #include "support/result.hpp"
 
+namespace mv {
+class FaultPlan;
+}
+
 namespace mv::hw {
 
 struct MachineConfig {
@@ -59,14 +63,29 @@ class Machine {
   void tlb_shootdown(unsigned initiator, const std::vector<unsigned>& targets,
                      std::uint64_t vaddr);
 
+  // Batched shootdown: one IPI round per target for the whole vaddr list
+  // (the munmap/brk-shrink path — remote cores ack once per interrupt, not
+  // once per page). No-op on an empty list.
+  void tlb_shootdown(unsigned initiator, const std::vector<unsigned>& targets,
+                     const std::vector<std::uint64_t>& vaddrs);
+
+  // Deterministic fault injection (lost shootdown IPIs). The plan outlives
+  // the machine's use of it; nullptr disables injection.
+  void set_fault_plan(FaultPlan* plan) noexcept { fault_plan_ = plan; }
+
   [[nodiscard]] std::uint64_t ipis_sent() const noexcept { return ipis_sent_; }
 
  private:
+  // One IPI+ack to `target`, with lost-IPI injection: a dropped IPI costs
+  // the initiator a timeout-and-resend round (and a second wire IPI).
+  void shootdown_ipi_round(Core& init, unsigned target);
+
   MachineConfig config_;
   PhysMem mem_;
   PageTables paging_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::uint64_t ipis_sent_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace mv::hw

@@ -1,5 +1,6 @@
 #include "multiverse/config.hpp"
 
+#include "support/faultplan.hpp"
 #include "support/strings.hpp"
 
 namespace mv::multiverse {
@@ -66,6 +67,16 @@ Result<OverrideConfig> parse_override_config(const std::string& text) {
                             lineno));
         }
         config.options.ring_depth = depth;
+      } else if (tokens[1] == "fault") {
+        // Validate eagerly so a typo'd fault spec fails at parse time, not
+        // when the runtime builds the plan.
+        auto plan = FaultPlan::parse(tokens[2]);
+        if (!plan.is_ok()) {
+          return err(Err::kParse,
+                     strfmt("line %d: %s", lineno,
+                            plan.status().detail().c_str()));
+        }
+        config.options.fault_spec = tokens[2];
       } else {
         return err(Err::kParse,
                    strfmt("line %d: unknown option '%s'", lineno,

@@ -33,6 +33,9 @@ struct ToolchainOptions {
   // doorbell (single-slot compatible cycle numbers); >1 enables batched
   // doorbells. Clamped to the channel's maximum by the runtime.
   int ring_depth = 1;
+  // Deterministic fault-injection spec (see support/faultplan.hpp); empty
+  // means no FaultPlan is built. Validated at parse time.
+  std::string fault_spec;
 };
 
 struct OverrideConfig {

@@ -35,6 +35,8 @@ EventChannel::EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
   contended_metric_ =
       &reg.counter(strfmt("channel/%d/contended_acquires", id_));
   doorbell_metric_ = &reg.counter(strfmt("channel/%d/doorbells", id_));
+  retry_metric_ = &reg.counter(strfmt("channel/%d/retries", id_));
+  degradation_metric_ = &reg.counter(strfmt("channel/%d/degradations", id_));
 }
 
 Status EventChannel::init() {
@@ -166,6 +168,17 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
       occupancy_metric_,
       static_cast<double>(seq + 1 - page_read(Ring::kOffSubHead)));
 
+  if (fault_mode_ && replay_armed_ && seq % depth_ == replay_slot_) {
+    // The duplicated completion delivery raced slot reuse: a stale
+    // completion clobbers the fresh submission's state words. complete()
+    // detects the stale sequence number and re-publishes the request.
+    page_write(slot + Ring::kSlotState, Ring::kCompleted);
+    page_write(slot + Ring::kSlotRspSeq, replay_.seq);
+    page_write(slot + Ring::kSlotRspStatus, replay_.status);
+    page_write(slot + Ring::kSlotRspValue, replay_.value);
+    replay_armed_ = false;
+  }
+
   hw::Core& core = hvm_->machine().core(hrt_core_);
   if (eager_) {
     // Compatibility mode: the requester observes the full transport latency
@@ -177,6 +190,18 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
     if (!sync_mode_) {
       ++doorbells_;
       MV_COUNTER_INC(doorbell_metric_, 1);
+      if (fault_mode_ &&
+          plan_->should_inject(FaultClass::kDropDoorbell, core.cycles())) {
+        // The composite doorbell+injection was lost: the submission sits in
+        // the ring with no wakeup. The requester's deadline recovers.
+        plan_->note_injected(FaultClass::kDropDoorbell);
+        return;
+      }
+    } else if (fault_mode_ &&
+               plan_->should_inject(FaultClass::kDelayWakeup, core.cycles())) {
+      plan_->note_injected(FaultClass::kDelayWakeup);
+      pending_delayed_wake_ = true;
+      return;
     }
     wake_partner();
     return;
@@ -186,6 +211,12 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
     // Post-merge memory protocol: per-request cache-line transfers make the
     // submission visible; the partner polls the ring — no hypercall at all.
     core.charge(transport_cost());
+    if (fault_mode_ &&
+        plan_->should_inject(FaultClass::kDelayWakeup, core.cycles())) {
+      plan_->note_injected(FaultClass::kDelayWakeup);
+      pending_delayed_wake_ = true;
+      return;
+    }
     wake_partner();
     return;
   }
@@ -211,14 +242,40 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
 }
 
 Result<std::uint64_t> EventChannel::complete(std::uint64_t seq) {
+  if (fault_mode_) return complete_hardened(seq);
   const std::uint64_t slot = slot_base(seq);
   while (page_read(slot + Ring::kSlotState) !=
          static_cast<std::uint64_t>(Ring::kCompleted)) {
     sched_->block();
   }
+  return reap(seq);
+}
+
+// Reap a completed slot: free it, account latency, validate the raw status
+// word, wake the next claim waiter. Shared verbatim by the legacy blocking
+// path and the hardened path; the corrupt-status recovery branch is inert
+// outside fault mode.
+Result<std::uint64_t> EventChannel::reap(std::uint64_t seq) {
+  const std::uint64_t slot = slot_base(seq);
   SlotMeta& meta = slots_[seq % depth_];
-  const std::uint64_t status_code = page_read(slot + Ring::kSlotRspStatus);
-  const std::uint64_t value = page_read(slot + Ring::kSlotRspValue);
+  std::uint64_t status_code = page_read(slot + Ring::kSlotRspStatus);
+  std::uint64_t value = page_read(slot + Ring::kSlotRspValue);
+  if (fault_mode_ && status_code != 0 && !err_code_is_known(status_code)) {
+    // The in-page status word is garbage. The server's host-side completion
+    // record is authoritative: re-fetch from it (one coherence transfer)
+    // instead of re-executing the request, so recovery stays idempotent.
+    const CompletionRecord& rec = completions_[seq % depth_];
+    if (rec.valid && rec.seq == seq) {
+      hw::Core& core = hvm_->machine().core(hrt_core_);
+      core.charge(partner_ != nullptr
+                      ? hvm_->machine().line_transfer_cost(hrt_core_,
+                                                           partner_->core)
+                      : hw::costs().cacheline_same_socket);
+      status_code = rec.status;
+      value = rec.value;
+      if (plan_ != nullptr) plan_->note_recovered(FaultClass::kCorruptStatus);
+    }
+  }
   page_write(slot + Ring::kSlotKind, kIdle);
   page_write(slot + Ring::kSlotState, Ring::kFree);
   meta.requester = kNoTask;
@@ -255,9 +312,123 @@ Result<std::uint64_t> EventChannel::complete(std::uint64_t seq) {
   return value;
 }
 
+Result<std::uint64_t> EventChannel::complete_hardened(std::uint64_t seq) {
+  const std::uint64_t slot = slot_base(seq);
+  hw::Core& core = hvm_->machine().core(hrt_core_);
+  // A generous first deadline (several uncontended async round trips) so a
+  // healthy channel never times out; each expiry doubles it. The poll charge
+  // keeps the requester's clock moving even when it is the only runnable
+  // task, so a lost wakeup can never hang the schedule.
+  static constexpr int kMaxAttempts = 8;
+  static constexpr Cycles kPollCycles = 200;
+  Cycles deadline = 4 * hw::costs().async_call_roundtrip();
+  Cycles wait_begin = requester_cycles();
+  int attempts = 0;
+  bool doorbell_presumed_lost = false;
+  for (;;) {
+    const std::uint64_t state = page_read(slot + Ring::kSlotState);
+    if (state == static_cast<std::uint64_t>(Ring::kCompleted)) {
+      if (page_read(slot + Ring::kSlotRspSeq) == seq) break;
+      // Stale duplicate completion aimed at an earlier occupant of this
+      // physical slot: the free-running sequence number exposes it. Drop it
+      // and re-publish the clobbered submission.
+      if (partner_died_) {
+        // No server left to re-serve: fail the request in place.
+        page_write(slot + Ring::kSlotRspStatus,
+                   static_cast<std::uint64_t>(Err::kIo));
+        page_write(slot + Ring::kSlotRspValue, 0);
+        page_write(slot + Ring::kSlotRspSeq, seq);
+        break;
+      }
+      page_write(slot + Ring::kSlotState, Ring::kSubmitted);
+      if (plan_ != nullptr) plan_->note_recovered(FaultClass::kDupDoorbell);
+      wake_partner();
+      continue;
+    }
+    if (partner_died_) {
+      // Partner died with this request in flight; complete it as kIo so the
+      // reap path (latency, slot release, claimer wake) stays uniform.
+      page_write(slot + Ring::kSlotRspStatus,
+                 static_cast<std::uint64_t>(Err::kIo));
+      page_write(slot + Ring::kSlotRspValue, 0);
+      page_write(slot + Ring::kSlotRspSeq, seq);
+      page_write(slot + Ring::kSlotState, Ring::kCompleted);
+      break;
+    }
+    core.charge(kPollCycles);
+    sched_->yield();
+    if (requester_cycles() - wait_begin < deadline) continue;
+    // Deadline expired: presume the wakeup was lost and re-drive the
+    // transport, with exponential backoff and a hard retry cap.
+    ++attempts;
+    MV_CHECK(attempts <= kMaxAttempts, "event-channel retry limit exceeded");
+    doorbell_presumed_lost |= retry_transport();
+    deadline *= 2;
+    wait_begin = requester_cycles();
+  }
+  if (attempts == 0) consecutive_doorbell_losses_ = 0;
+  if (doorbell_presumed_lost && plan_ != nullptr) {
+    plan_->note_recovered(FaultClass::kDropDoorbell);
+  }
+  return reap(seq);
+}
+
+// Re-drive the transport after a deadline expiry. Returns true when the
+// expiry was attributed to a lost async doorbell (the degradation ladder's
+// currency); delayed-wakeup and sync-mode expiries return false.
+bool EventChannel::retry_transport() {
+  ++retries_;
+  MV_COUNTER_INC(retry_metric_, 1);
+  MV_TRACE_INSTANT(hrt_core_, "channel", "retry");
+  if (pending_delayed_wake_) {
+    // The submit-side wakeup was delayed, not lost; deliver it now.
+    pending_delayed_wake_ = false;
+    if (plan_ != nullptr) plan_->note_recovered(FaultClass::kDelayWakeup);
+    wake_partner();
+    return false;
+  }
+  if (sync_mode_) {
+    // Sync transport: the partner polls shared memory; wake it again.
+    wake_partner();
+    return false;
+  }
+  // Async transport: presume the doorbell was lost. After enough consecutive
+  // losses stop trusting it and degrade to the sync transport, which has no
+  // VMM-mediated delivery to lose.
+  static constexpr unsigned kDegradeThreshold = 3;
+  ++consecutive_doorbell_losses_;
+  if (consecutive_doorbell_losses_ >= kDegradeThreshold) {
+    degrade_to_sync();
+    wake_partner();
+    return true;
+  }
+  // Re-ring the doorbell for the whole pending window.
+  ++doorbells_;
+  MV_COUNTER_INC(doorbell_metric_, 1);
+  const std::uint64_t pending =
+      page_read(Ring::kOffSubTail) - page_read(Ring::kOffSubHead);
+  auto rung = hvm_->hypercall(hrt_core_, vmm::Hypercall::kRaiseRos,
+                              static_cast<std::uint64_t>(id_), pending);
+  if (!rung) wake_partner();
+  return true;
+}
+
+void EventChannel::degrade_to_sync() {
+  ++degradations_;
+  MV_COUNTER_INC(degradation_metric_, 1);
+  MV_TRACE_INSTANT(hrt_core_, "channel", "degrade_to_sync");
+  consecutive_doorbell_losses_ = 0;
+  // One kSetupSyncCall hands the ROS side the polling address; every later
+  // round trip is the pure memory protocol.
+  (void)hvm_->hypercall(hrt_core_, vmm::Hypercall::kSetupSyncCall, page_);
+  sync_vaddr_ = page_;
+  sync_mode_ = true;
+}
+
 Result<std::uint64_t> EventChannel::forward_syscall(
     ros::SysNr nr, std::array<std::uint64_t, 6> args) {
   if (partner_ == nullptr) return err(Err::kState, "channel has no partner");
+  if (partner_died_) return err(Err::kIo, "event-channel partner died");
   const std::uint64_t seq = claim_slot();
   const std::uint64_t slot = slot_base(seq);
   page_write(slot + Ring::kSlotSysNr, static_cast<std::uint64_t>(nr));
@@ -275,6 +446,12 @@ std::vector<Result<std::uint64_t>> EventChannel::forward_syscall_batch(
   if (partner_ == nullptr) {
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       out.push_back(err(Err::kState, "channel has no partner"));
+    }
+    return out;
+  }
+  if (partner_died_) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      out.push_back(err(Err::kIo, "event-channel partner died"));
     }
     return out;
   }
@@ -310,6 +487,7 @@ std::vector<Result<std::uint64_t>> EventChannel::forward_syscall_batch(
 Status EventChannel::forward_fault(std::uint64_t vaddr,
                                    std::uint32_t error_code) {
   if (partner_ == nullptr) return err(Err::kState, "channel has no partner");
+  if (partner_died_) return err(Err::kIo, "event-channel partner died");
   const std::uint64_t seq = claim_slot();
   const std::uint64_t slot = slot_base(seq);
   page_write(slot + Ring::kSlotVaddr, vaddr);
@@ -342,6 +520,7 @@ void EventChannel::mark_exit(int hrt_tid) {
 }
 
 bool EventChannel::serve_pending(ros::Thread& server) {
+  if (partner_died_) return false;
   const std::uint64_t head = page_read(Ring::kOffSubHead);
   if (head == page_read(Ring::kOffSubTail)) return false;
   const std::uint64_t slot = slot_base(head);
@@ -414,10 +593,35 @@ bool EventChannel::serve_pending(ros::Thread& server) {
     rsp_status = static_cast<std::uint64_t>(Err::kProtocol);
   }
 
-  page_write(slot + Ring::kSlotRspStatus, rsp_status);
+  // Host-side completion record: holds the true status even if the in-page
+  // word below gets corrupted, so recovery never re-executes the request.
+  completions_[head % depth_] =
+      CompletionRecord{head, rsp_status, rsp_value, true};
+
+  std::uint64_t published_status = rsp_status;
+  if (fault_mode_ &&
+      plan_->should_inject(FaultClass::kCorruptStatus, ros_core.cycles())) {
+    // Corrupt the published status word with a value outside the known Err
+    // range; the requester's validation catches it and consults the record.
+    plan_->note_injected(FaultClass::kCorruptStatus);
+    published_status = 0xDEAD0000ull;
+  }
+  page_write(slot + Ring::kSlotRspStatus, published_status);
   page_write(slot + Ring::kSlotRspValue, rsp_value);
+  page_write(slot + Ring::kSlotRspSeq, head);
   page_write(slot + Ring::kSlotState, Ring::kCompleted);
   page_write(Ring::kOffSubHead, head + 1);
+
+  if (fault_mode_ && !replay_armed_ &&
+      plan_->should_inject(FaultClass::kDupDoorbell, ros_core.cycles())) {
+    // Arm a stale replay: this completion will be delivered a second time
+    // when the physical slot is next reused (a duplicated doorbell racing
+    // slot reuse). The requester must detect and drop it by sequence number.
+    plan_->note_injected(FaultClass::kDupDoorbell);
+    replay_armed_ = true;
+    replay_slot_ = head % depth_;
+    replay_ = CompletionRecord{head, published_status, rsp_value, true};
+  }
 
   // Drain bookkeeping: once the ring is empty, retire the coalesced
   // doorbell (the next submission rings a fresh one) and deliver the
@@ -443,11 +647,66 @@ void EventChannel::service_loop() {
       partner_idle_ = false;
     }
     if (!has_request() && exit_) return;
+    if (fault_mode_ &&
+        plan_->should_inject(FaultClass::kPartnerDeath,
+                             linux_->core_of(*partner_).cycles())) {
+      partner_die();
+      return;
+    }
     // Drain the ring: every submission that arrived before (or during) this
     // wakeup is served before the partner sleeps again.
-    while (serve_pending(*partner_)) {
+    bool progress = false;
+    while (serve_pending(*partner_)) progress = true;
+    if (!progress && has_request() && !exit_) {
+      // The head slot is unserveable — in fault mode a stale replay can
+      // clobber it until the requester re-publishes. Sleep (the repair path
+      // wakes us) instead of spinning in the cooperative schedule.
+      partner_idle_ = true;
+      sched_->block();
+      partner_idle_ = false;
     }
   }
+}
+
+void EventChannel::partner_die() {
+  partner_died_ = true;
+  if (plan_ != nullptr) plan_->note_injected(FaultClass::kPartnerDeath);
+  MV_TRACE_INSTANT(partner_->core, "channel", "partner_death");
+  fail_inflight();
+  // Preserve join semantics: the partner's task lingers — failing any
+  // straggler submissions, serving nothing — until the HRT thread exits, so
+  // joining the partner still means "the HRT thread is done".
+  while (!exit_) {
+    partner_idle_ = true;
+    sched_->block();
+    partner_idle_ = false;
+    fail_inflight();
+  }
+}
+
+void EventChannel::fail_inflight() {
+  std::uint64_t head = page_read(Ring::kOffSubHead);
+  const std::uint64_t tail = page_read(Ring::kOffSubTail);
+  for (; head != tail; ++head) {
+    const std::uint64_t slot = slot_base(head);
+    if (page_read(slot + Ring::kSlotState) !=
+        static_cast<std::uint64_t>(Ring::kSubmitted)) {
+      // A stale replay clobbered this submission; its requester fails it
+      // locally via the partner_died_ path in complete_hardened().
+      continue;
+    }
+    page_write(slot + Ring::kSlotRspStatus,
+               static_cast<std::uint64_t>(Err::kIo));
+    page_write(slot + Ring::kSlotRspValue, 0);
+    page_write(slot + Ring::kSlotRspSeq, head);
+    page_write(slot + Ring::kSlotState, Ring::kCompleted);
+    completions_[head % depth_] = CompletionRecord{
+        head, static_cast<std::uint64_t>(Err::kIo), 0, true};
+    const TaskId requester = slots_[head % depth_].requester;
+    if (requester != kNoTask) sched_->unblock(requester);
+  }
+  page_write(Ring::kOffSubHead, tail);
+  if (page_read(Ring::kOffDoorbell) != 0) page_write(Ring::kOffDoorbell, 0);
 }
 
 }  // namespace mv::multiverse

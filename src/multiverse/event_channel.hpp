@@ -34,6 +34,7 @@
 
 #include "aerokernel/nautilus.hpp"
 #include "ros/linux.hpp"
+#include "support/faultplan.hpp"
 #include "support/metrics.hpp"
 #include "support/result.hpp"
 #include "support/sched.hpp"
@@ -64,6 +65,10 @@ class EventChannel final : public naut::LegacyChannel {
     static constexpr std::uint64_t kSlotError = 0x50;
     static constexpr std::uint64_t kSlotRspStatus = 0x58;
     static constexpr std::uint64_t kSlotRspValue = 0x60;
+    // Free-running sequence number of the completion occupying the slot.
+    // Lets a requester distinguish its own completion from a stale duplicate
+    // aimed at an earlier occupant of the same physical slot.
+    static constexpr std::uint64_t kSlotRspSeq = 0x68;
     // Slot lifecycle: free -> submitted -> completed -> free. A slot is
     // reusable only once the submitter has reaped the completion.
     enum State : std::uint64_t {
@@ -102,6 +107,18 @@ class EventChannel final : public naut::LegacyChannel {
   // protocol to communicate" without VMM intervention).
   Status enable_sync_mode(std::uint64_t sync_vaddr);
   [[nodiscard]] bool sync_mode() const noexcept { return sync_mode_; }
+
+  // Arm deterministic fault injection and the recovery machinery. With a
+  // null plan (or a plan with no channel-visible class armed) every code
+  // path is bit-identical to the legacy protocol.
+  void set_fault_plan(FaultPlan* plan) noexcept {
+    plan_ = plan;
+    fault_mode_ = plan != nullptr && plan->channel_armed();
+  }
+  [[nodiscard]] bool fault_mode() const noexcept { return fault_mode_; }
+  // The partner thread died mid-service; in-flight and future requests fail
+  // with kIo until the group tears down.
+  [[nodiscard]] bool partner_dead() const noexcept { return partner_died_; }
 
   // --- HRT side (naut::LegacyChannel) ----------------------------------------
   Result<std::uint64_t> forward_syscall(
@@ -150,6 +167,12 @@ class EventChannel final : public naut::LegacyChannel {
   // Doorbells raised on the async transport (eager: one per request;
   // batched: one kRaiseRos per flush, so < 1 per request under load).
   [[nodiscard]] std::uint64_t doorbells() const noexcept { return doorbells_; }
+  // Deadline expiries that re-drove the transport (fault mode only).
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  // Async->sync transport degradations after consecutive doorbell losses.
+  [[nodiscard]] std::uint64_t degradations() const noexcept {
+    return degradations_;
+  }
   [[nodiscard]] int exited_hrt_tid() const noexcept { return exited_tid_; }
   // Shared-page base address (white-box protocol tests poke raw slot words).
   [[nodiscard]] std::uint64_t page_base() const noexcept { return page_; }
@@ -186,6 +209,22 @@ class EventChannel final : public naut::LegacyChannel {
   // Block until `seq` completes, reap the completion, free the slot, and
   // wake the next claim waiter. Validates the raw status word.
   Result<std::uint64_t> complete(std::uint64_t seq);
+  // Fault-mode variant: deadline-driven polling with bounded retry and
+  // exponential backoff, duplicate-completion drop, corrupt-status recovery
+  // from the host-side completion record, async->sync degradation, and
+  // partner-death teardown.
+  Result<std::uint64_t> complete_hardened(std::uint64_t seq);
+  Result<std::uint64_t> reap(std::uint64_t seq);
+  // Deadline expiry handling: re-drive whatever transport the request used;
+  // may degrade the channel to the sync transport. Returns true when the
+  // expiry was attributed to a lost async doorbell.
+  bool retry_transport();
+  void degrade_to_sync();
+  // Partner-death paths (fault mode): fail every in-flight submission with
+  // kIo, then linger (serving nothing) until the HRT thread exits so join
+  // semantics survive the death.
+  void partner_die();
+  void fail_inflight();
   void wake_partner();
   void wake_next_claimer();
 
@@ -212,6 +251,30 @@ class EventChannel final : public naut::LegacyChannel {
   std::uint64_t contended_acquires_ = 0;
   std::uint64_t doorbells_ = 0;
 
+  // --- fault-injection & recovery state (inert unless fault_mode_) ---------
+  // Host-side record of every completion the server produced, keyed by the
+  // physical slot. Authoritative when the in-page status word is corrupted:
+  // recovery re-fetches from here instead of re-executing the request, so
+  // reissue stays idempotent.
+  struct CompletionRecord {
+    std::uint64_t seq = 0;
+    std::uint64_t status = 0;
+    std::uint64_t value = 0;
+    bool valid = false;
+  };
+  FaultPlan* plan_ = nullptr;
+  bool fault_mode_ = false;
+  bool partner_died_ = false;
+  bool pending_delayed_wake_ = false;
+  std::array<CompletionRecord, Ring::kMaxDepth> completions_{};
+  // Armed stale-completion replay (a duplicated delivery racing slot reuse).
+  bool replay_armed_ = false;
+  std::uint64_t replay_slot_ = 0;
+  CompletionRecord replay_{};
+  unsigned consecutive_doorbell_losses_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t degradations_ = 0;
+
   // Cached metrics instruments, resolved once at construction:
   // latency_[kind][transport] with kind in {syscall, fault} and transport in
   // {async, sync}. Recording is in simulated cycles and charges none.
@@ -222,6 +285,8 @@ class EventChannel final : public naut::LegacyChannel {
   metrics::Counter* protocol_error_metric_ = nullptr;
   metrics::Counter* contended_metric_ = nullptr;
   metrics::Counter* doorbell_metric_ = nullptr;
+  metrics::Counter* retry_metric_ = nullptr;
+  metrics::Counter* degradation_metric_ = nullptr;
 };
 
 }  // namespace mv::multiverse

@@ -248,6 +248,17 @@ Status MultiverseRuntime::startup(ros::Thread& main_thread,
   MV_ASSIGN_OR_RETURN(Toolchain::Parsed parsed, Toolchain::load(fat_binary));
   config_ = parsed.config;
 
+  // Deterministic fault injection: build the plan from the embedded config
+  // and hand it to every layer that injects (VMM doorbells, machine IPIs) or
+  // recovers (event channels, installed per group at creation).
+  if (!config_.options.fault_spec.empty()) {
+    MV_ASSIGN_OR_RETURN(FaultPlan plan,
+                        FaultPlan::parse(config_.options.fault_spec));
+    fault_plan_ = std::make_unique<FaultPlan>(std::move(plan));
+    hvm_->set_fault_plan(fault_plan_.get());
+    hvm_->machine().set_fault_plan(fault_plan_.get());
+  }
+
   // 2. Install the image in HRT physical memory and boot the AeroKernel.
   MV_RETURN_IF_ERROR(
       hvm_->install_hrt_image(main_thread.core, parsed.binary.aerokernel_image)
@@ -364,6 +375,7 @@ Result<ExecGroup*> MultiverseRuntime::create_group(ros::Thread& caller,
                                                   hrt_core, group->id);
   group->channel->set_ring_depth(
       static_cast<unsigned>(config_.options.ring_depth));
+  if (fault_plan_ != nullptr) group->channel->set_fault_plan(fault_plan_.get());
   MV_RETURN_IF_ERROR(group->channel->init());
 
   ExecGroup* raw = group.get();
@@ -583,7 +595,8 @@ Result<std::uint64_t> MultiverseRuntime::kernel_mode_memop(
                      static_cast<int>(args[3]));
     case ros::SysNr::kMunmap:
       core.charge(180 + 20 * (hw::page_ceil(args[1]) / hw::kPageSize));
-      MV_RETURN_IF_ERROR(as.munmap(args[0], args[1]));
+      MV_RETURN_IF_ERROR(
+          as.munmap(args[0], args[1], static_cast<int>(hrt_core)));
       return std::uint64_t{0};
     case ros::SysNr::kMprotect:
       core.charge(160 + 30 * (hw::page_ceil(args[1]) / hw::kPageSize));

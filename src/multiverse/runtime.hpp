@@ -18,6 +18,7 @@
 #include "multiverse/event_channel.hpp"
 #include "multiverse/toolchain.hpp"
 #include "ros/linux.hpp"
+#include "support/faultplan.hpp"
 #include "support/result.hpp"
 #include "vmm/hvm.hpp"
 
@@ -136,6 +137,9 @@ class MultiverseRuntime {
   }
   void set_group_mode(GroupMode mode) noexcept { group_mode_ = mode; }
   [[nodiscard]] GroupMode group_mode() const noexcept { return group_mode_; }
+  // The deterministic fault plan built from `option fault` (null when the
+  // config carries none).
+  [[nodiscard]] FaultPlan* fault_plan() noexcept { return fault_plan_.get(); }
 
   // Kernel-mode memory-op overrides (the incremental->accelerator porting
   // path of Sec 5's conclusion: mmap/mprotect "hundreds of times faster
@@ -163,6 +167,7 @@ class MultiverseRuntime {
   vmm::Hvm* hvm_;
   naut::Nautilus* naut_;
   OverrideConfig config_;
+  std::unique_ptr<FaultPlan> fault_plan_;
   ros::Process* process_ = nullptr;
   bool started_ = false;
   int next_group_id_ = 1;

@@ -80,10 +80,10 @@ Result<std::uint64_t> AddressSpace::mmap(std::uint64_t addr, std::uint64_t len,
 }
 
 // munmap that tolerates unmapped ranges (used by MAP_FIXED).
-Status AddressSpace::munmap_allowed_empty(std::uint64_t addr,
-                                          std::uint64_t len) {
+Status AddressSpace::munmap_allowed_empty(std::uint64_t addr, std::uint64_t len,
+                                          int initiator_core) {
   split_around(addr, len);
-  unmap_range_pages(addr, addr + len);
+  unmap_range_pages(addr, addr + len, initiator_core);
   for (auto it = vmas_.begin(); it != vmas_.end();) {
     if (it->second.start >= addr && it->second.end <= addr + len) {
       it = vmas_.erase(it);
@@ -94,10 +94,11 @@ Status AddressSpace::munmap_allowed_empty(std::uint64_t addr,
   return Status::ok();
 }
 
-Status AddressSpace::munmap(std::uint64_t addr, std::uint64_t len) {
+Status AddressSpace::munmap(std::uint64_t addr, std::uint64_t len,
+                            int initiator_core) {
   if (len == 0 || addr != page_floor(addr)) return err(Err::kInval, "munmap");
   len = page_ceil(len);
-  return munmap_allowed_empty(addr, len);
+  return munmap_allowed_empty(addr, len, initiator_core);
 }
 
 void AddressSpace::split_around(std::uint64_t addr, std::uint64_t len) {
@@ -152,9 +153,13 @@ Status AddressSpace::mprotect(unsigned initiator_core, std::uint64_t addr,
         std::uint64_t flags = prot_to_flags(prot);
         if (page_floor(leaf->paddr) == zero_page_) flags &= ~hw::kPteWrite;
         if ((prot & kProtRead) == 0 && (prot & kProtWrite) == 0) {
-          // PROT_NONE: drop the mapping entirely; next touch faults.
-          (void)machine_->paging().unmap_page(cr3_, va);
-          --resident_pages_;
+          // PROT_NONE: keep the frame (and its contents!) but strip the user
+          // bit so any cpl-3 touch faults as a protection violation. The old
+          // code unmapped the leaf here, which freed nothing but lost the
+          // translation — and a later PROT_READ|WRITE restore then demand-
+          // zeroed the page, destroying its contents.
+          MV_RETURN_IF_ERROR(machine_->paging().protect_page(
+              cr3_, va, hw::kPtePresent | hw::kPteNx));
         } else {
           MV_RETURN_IF_ERROR(
               machine_->paging().protect_page(cr3_, va, flags));
@@ -166,12 +171,13 @@ Status AddressSpace::mprotect(unsigned initiator_core, std::uint64_t addr,
   return any ? Status::ok() : err(Err::kNoMem, "mprotect: no mapping");
 }
 
-Result<std::uint64_t> AddressSpace::brk(std::uint64_t new_brk) {
+Result<std::uint64_t> AddressSpace::brk(std::uint64_t new_brk,
+                                        int initiator_core) {
   if (new_brk == 0) return brk_;
   if (new_brk < kBrkBase) return err(Err::kInval, "brk below heap base");
   if (new_brk < brk_) {
     // Shrink: unmap the released pages.
-    unmap_range_pages(page_ceil(new_brk), page_ceil(brk_));
+    unmap_range_pages(page_ceil(new_brk), page_ceil(brk_), initiator_core);
   }
   brk_ = new_brk;
   // The heap VMA always spans [kBrkBase, brk). Represent it as one VMA.
@@ -283,6 +289,17 @@ AddressSpace::FaultOutcome AddressSpace::handle_fault_impl(
       if (!machine_->paging()
                .map_page(cr3_, page, *frame, prot_to_flags(vma->prot), zone_)
                .is_ok()) {
+        // Failed mid-break: don't leak the fresh frame, and put the zero-page
+        // mapping back so the PTE state matches resident_pages_. If even the
+        // restore fails the page is genuinely gone — account for it.
+        (void)machine_->mem().free_frame(*frame);
+        if (!machine_->paging()
+                 .map_page(cr3_, page, zero_page_,
+                           prot_to_flags(vma->prot) & ~hw::kPteWrite, zone_)
+                 .is_ok()) {
+          MV_CHECK(resident_pages_ > 0, "resident_pages_ underflow");
+          --resident_pages_;
+        }
         return FaultOutcome{false, false};
       }
       machine_->tlb_shootdown(core, coherency_cores_, page);
@@ -295,7 +312,8 @@ AddressSpace::FaultOutcome AddressSpace::handle_fault_impl(
   return FaultOutcome{false, false};
 }
 
-void AddressSpace::unmap_range_pages(std::uint64_t start, std::uint64_t end) {
+void AddressSpace::unmap_range_pages(std::uint64_t start, std::uint64_t end,
+                                     int initiator_core) {
   // Walk existing leaf mappings in [start, end): free private frames, leave
   // the shared zero page alone.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> present;
@@ -303,16 +321,35 @@ void AddressSpace::unmap_range_pages(std::uint64_t start, std::uint64_t end) {
       cr3_, [&](std::uint64_t va, const hw::TranslateOk& t) {
         if (va >= start && va < end) present.emplace_back(va, t.paddr);
       });
+  if (present.empty()) return;
+  std::vector<std::uint64_t> vaddrs;
+  vaddrs.reserve(present.size());
   for (const auto& [va, paddr] : present) {
     (void)machine_->paging().unmap_page(cr3_, va);
     if (page_floor(paddr) != zero_page_) {
       (void)machine_->mem().free_frame(page_floor(paddr));
     }
-    --resident_pages_;
-    for (unsigned c : coherency_cores_) {
-      machine_->core(c).tlb().invalidate_page(va);
+    const auto kp = std::find(kernel_pages_.begin(), kernel_pages_.end(), va);
+    if (kp != kernel_pages_.end()) {
+      // Kernel-mapped page (vvar): never counted resident, so don't charge
+      // its teardown against the VMA residency either.
+      kernel_pages_.erase(kp);
+    } else {
+      MV_CHECK(resident_pages_ > 0, "resident_pages_ underflow");
+      --resident_pages_;
     }
+    vaddrs.push_back(va);
   }
+  // One batched shootdown round for the whole range: each remote core in the
+  // coherency domain gets a single IPI (charged to the initiator) covering
+  // every invalidated page. The old per-page loop poked remote TLBs directly
+  // without charging any IPI cost at all, making munmap/brk-shrink look free
+  // on multi-core domains.
+  const unsigned initiator =
+      initiator_core >= 0 ? static_cast<unsigned>(initiator_core)
+      : coherency_cores_.empty() ? 0u
+                                 : coherency_cores_.front();
+  machine_->tlb_shootdown(initiator, coherency_cores_, vaddrs);
 }
 
 void AddressSpace::invalidate(std::uint64_t vaddr) {

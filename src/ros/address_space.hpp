@@ -60,10 +60,14 @@ class AddressSpace {
   Result<std::uint64_t> mmap(std::uint64_t addr, std::uint64_t len, int prot,
                              int flags, std::string name = "anon",
                              std::vector<std::uint8_t> file_backing = {});
-  Status munmap(std::uint64_t addr, std::uint64_t len);
+  // `initiator_core`, where taken, is the core executing the (un)mapping
+  // syscall: it pays the one batched TLB-shootdown IPI round the range
+  // teardown costs. -1 means "no specific core" (teardown paths); the charge
+  // then lands on the coherency domain's lead core.
+  Status munmap(std::uint64_t addr, std::uint64_t len, int initiator_core = -1);
   Status mprotect(unsigned initiator_core, std::uint64_t addr,
                   std::uint64_t len, int prot);
-  Result<std::uint64_t> brk(std::uint64_t new_brk);
+  Result<std::uint64_t> brk(std::uint64_t new_brk, int initiator_core = -1);
   [[nodiscard]] std::uint64_t current_brk() const noexcept { return brk_; }
 
   [[nodiscard]] const Vma* find_vma(std::uint64_t addr) const;
@@ -107,13 +111,20 @@ class AddressSpace {
   Status poke(std::uint64_t vaddr, const void* data, std::uint64_t len);
   Status peek(std::uint64_t vaddr, void* out, std::uint64_t len) const;
 
+  // Kernel-owned pages the kernel mapped directly into this space (the vvar
+  // page): outside VMA accounting, so range teardown must not charge them
+  // against resident_pages_.
+  void note_kernel_page(std::uint64_t vaddr) { kernel_pages_.push_back(vaddr); }
+
  private:
   FaultOutcome handle_fault_impl(unsigned core, std::uint64_t vaddr,
                                  std::uint32_t error_code);
-  Status munmap_allowed_empty(std::uint64_t addr, std::uint64_t len);
+  Status munmap_allowed_empty(std::uint64_t addr, std::uint64_t len,
+                              int initiator_core = -1);
   Result<std::uint64_t> pick_gap(std::uint64_t len) const;
   [[nodiscard]] static std::uint64_t prot_to_flags(int prot) noexcept;
-  void unmap_range_pages(std::uint64_t start, std::uint64_t end);
+  void unmap_range_pages(std::uint64_t start, std::uint64_t end,
+                         int initiator_core = -1);
   void invalidate(std::uint64_t vaddr);
   Vma* find_vma_mut(std::uint64_t addr);
   // Split VMAs so that [addr, addr+len) is exactly covered by whole VMAs.
@@ -127,6 +138,7 @@ class AddressSpace {
   std::uint64_t brk_ = kBrkBase;
   std::uint64_t mmap_next_ = kMmapTop;
   std::vector<unsigned> coherency_cores_;
+  std::vector<std::uint64_t> kernel_pages_;
   std::uint64_t resident_pages_ = 0;
   std::uint64_t max_resident_pages_ = 0;
   std::uint64_t minflt_ = 0;

@@ -139,8 +139,9 @@ Result<Rusage> SysIface::getrusage() {
   return ru;
 }
 
-Status SysIface::setitimer(std::uint64_t interval_us) {
-  return syscall(SysNr::kSetitimer, {0, interval_us, 0, 0, 0, 0}).status();
+Status SysIface::setitimer(std::uint64_t interval_us, std::uint64_t value_us) {
+  return syscall(SysNr::kSetitimer, {0, interval_us, value_us, 0, 0, 0})
+      .status();
 }
 
 Result<int> SysIface::poll0() {

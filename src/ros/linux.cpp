@@ -79,6 +79,7 @@ Result<Process*> LinuxSim::spawn(std::string name,
   MV_RETURN_IF_ERROR(machine_->paging().map_page(
       proc->as->cr3(), kVvarVaddr, proc->vvar_frame,
       hw::kPtePresent | hw::kPteUser | hw::kPteNx, config_.numa_zone));
+  proc->as->note_kernel_page(kVvarVaddr);
   refresh_vvar(*proc);
 
   Process* raw = proc.get();
@@ -204,10 +205,15 @@ Status LinuxSim::deliver_signal(Thread& thread, int sig,
 
 void LinuxSim::check_itimer(Thread& thread) {
   Process& proc = *thread.proc;
-  if (proc.itimer_interval_us == 0) return;
+  // An armed timer is one with a live deadline. Gating on the interval
+  // instead (as this used to) silently swallowed one-shot timers
+  // (it_interval == 0), which must fire exactly once and then disarm.
+  if (proc.itimer_deadline_us == 0) return;
   const std::uint64_t now = now_us();
   if (now < proc.itimer_deadline_us) return;
-  proc.itimer_deadline_us = now + proc.itimer_interval_us;
+  proc.itimer_deadline_us = proc.itimer_interval_us == 0
+                                ? 0  // one-shot: fire once, disarm
+                                : now + proc.itimer_interval_us;
   ++proc.nivcsw;  // the tick preempts the thread
   (void)deliver_signal(thread, kSigAlrm, 0);
 }
@@ -337,8 +343,12 @@ Result<std::uint64_t> LinuxSim::dispatch_syscall(
     }
     case SysNr::kSetitimer: {
       core.charge(600);
+      // args[1] = it_interval (periodic reload), args[2] = it_value (initial
+      // expiry; 0 means "same as the interval", and interval==0 with a
+      // nonzero value arms a one-shot timer).
       proc.itimer_interval_us = args[1];
-      proc.itimer_deadline_us = now_us() + args[1];
+      const std::uint64_t value_us = args[2] != 0 ? args[2] : args[1];
+      proc.itimer_deadline_us = value_us == 0 ? 0 : now_us() + value_us;
       return std::uint64_t{0};
     }
     case SysNr::kGetpid: {
@@ -399,7 +409,8 @@ Result<std::uint64_t> LinuxSim::dispatch_syscall(
     case SysNr::kTimerSettime: {
       core.charge(700);
       proc.itimer_interval_us = args[1];
-      proc.itimer_deadline_us = now_us() + args[1];
+      const std::uint64_t value_us = args[2] != 0 ? args[2] : args[1];
+      proc.itimer_deadline_us = value_us == 0 ? 0 : now_us() + value_us;
       return std::uint64_t{0};
     }
     case SysNr::kCount_: break;

@@ -187,14 +187,15 @@ Result<std::uint64_t> LinuxSim::sys_munmap(Thread& t,
   if (virtualized()) {
     core.charge(hw::costs().vmexit + hw::costs().vmentry);
   }
-  MV_RETURN_IF_ERROR(t.proc->as->munmap(args[0], args[1]));
+  MV_RETURN_IF_ERROR(
+      t.proc->as->munmap(args[0], args[1], static_cast<int>(t.core)));
   return std::uint64_t{0};
 }
 
 Result<std::uint64_t> LinuxSim::sys_brk(Thread& t,
                                         std::array<std::uint64_t, 6> args) {
   core_of(t).charge(700);
-  return t.proc->as->brk(args[0]);
+  return t.proc->as->brk(args[0], static_cast<int>(t.core));
 }
 
 Result<std::uint64_t> LinuxSim::sys_getcwd(Thread& t,

@@ -233,7 +233,25 @@ Result<std::uint64_t> Hvm::hypercall(unsigned vcore, Hypercall nr,
       // the ring holds — that is the entire point of batching.
       core.charge(hw::costs().event_inject);
       count_injection(config_.ros_cores.front(), "inject:doorbell");
+      if (fault_plan_ != nullptr &&
+          fault_plan_->should_inject(FaultClass::kDropDoorbell,
+                                     core.cycles())) {
+        // The doorbell event vanished inside the VMM: the hypercall itself
+        // succeeded (the guest cannot tell), delivery never happens. The
+        // channel's deadline/retry machinery is what recovers.
+        fault_plan_->note_injected(FaultClass::kDropDoorbell);
+        return std::uint64_t{0};
+      }
       ros_doorbell_(a0, a1);
+      if (fault_plan_ != nullptr &&
+          fault_plan_->should_inject(FaultClass::kDupDoorbell,
+                                     core.cycles())) {
+        // Duplicated delivery: the wake path is idempotent (unblocking a
+        // runnable server is a no-op), so the dup is absorbed on the spot.
+        fault_plan_->note_injected(FaultClass::kDupDoorbell);
+        ros_doorbell_(a0, a1);
+        fault_plan_->note_recovered(FaultClass::kDupDoorbell);
+      }
       return std::uint64_t{0};
     }
     case Hypercall::kRegisterRosSignal:

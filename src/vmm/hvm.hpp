@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "hw/machine.hpp"
+#include "support/faultplan.hpp"
 #include "support/metrics.hpp"
 #include "support/result.hpp"
 #include "support/units.hpp"
@@ -137,6 +138,10 @@ class Hvm {
   // runtime routes it to the channel's server wake path).
   void register_ros_doorbell(RosDoorbell fn);
 
+  // Deterministic fault injection (dropped/duplicated doorbell deliveries).
+  // nullptr disables injection.
+  void set_fault_plan(FaultPlan* plan) noexcept { fault_plan_ = plan; }
+
   // --- shared data page access (both sides use these) ---------------------
   [[nodiscard]] std::uint64_t comm_read(std::uint64_t offset) const;
   void comm_write(std::uint64_t offset, std::uint64_t value);
@@ -195,6 +200,7 @@ class Hvm {
   std::uint64_t ros_signal_handler_ = 0;
   UserInterrupt ros_user_interrupt_;
   RosDoorbell ros_doorbell_;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace mv::vmm
