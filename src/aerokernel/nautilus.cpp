@@ -1,5 +1,6 @@
 #include "aerokernel/nautilus.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "support/log.hpp"
@@ -166,8 +167,12 @@ Status Nautilus::remerge() {
     machine_->paging().write_pml4_entry(cr3_, i, entry);
     core.charge(hw::costs().pml4_entry_copy);
   }
+  // The initiating core flushes locally as part of the PML4 copy; putting it
+  // in its own target list double-charged a full IPI round per merge.
   std::vector<unsigned> others;
-  for (const unsigned c : boot_info_.hrt_cores) others.push_back(c);
+  for (const unsigned c : boot_info_.hrt_cores) {
+    if (c != boot_core()) others.push_back(c);
+  }
   machine_->tlb_shootdown(boot_core(), others, /*vaddr=*/0);
   if (merged_) ++remerges_;
   return Status::ok();
@@ -181,6 +186,11 @@ Status Nautilus::on_hvm_event(vmm::HrtEventKind kind) {
     case vmm::HrtEventKind::kFunctionCall: {
       const std::uint64_t func = hvm_->comm_read(vmm::CommPage::kOffFuncPtr);
       const std::uint64_t arg = hvm_->comm_read(vmm::CommPage::kOffFuncArg);
+      // Placement hint (1 + core, 0 = kernel's choice), consumed per request
+      // so a stale hint never leaks into an unrelated call.
+      const std::uint64_t core_hint =
+          hvm_->comm_read(vmm::CommPage::kOffFuncCore);
+      hvm_->comm_write(vmm::CommPage::kOffFuncCore, 0);
       const auto it = functions_.find(func);
       if (it == functions_.end()) {
         hvm_->comm_write(vmm::CommPage::kOffRetCode,
@@ -192,7 +202,9 @@ Status Nautilus::on_hvm_event(vmm::HrtEventKind kind) {
       MV_ASSIGN_OR_RETURN(
           NautThread* const thread,
           thread_create([fn, arg]() { (void)fn(arg); }, /*nested=*/false,
-                        /*channel=*/nullptr, "hrt-async-call"));
+                        /*channel=*/nullptr, "hrt-async-call",
+                        core_hint == 0 ? -1
+                                       : static_cast<int>(core_hint - 1)));
       hvm_->comm_write(vmm::CommPage::kOffRetCode,
                        static_cast<std::uint64_t>(thread->id));
       return Status::ok();
@@ -222,13 +234,27 @@ Result<std::uint64_t> Nautilus::call_function(std::uint64_t hrt_vaddr,
 Result<NautThread*> Nautilus::thread_create(std::function<void()> body,
                                             bool nested,
                                             LegacyChannel* channel,
-                                            std::string name) {
+                                            std::string name,
+                                            int pinned_core) {
   if (!booted_) return err(Err::kState, "thread_create before boot");
   auto thread = std::make_unique<NautThread>();
   thread->id = next_thread_id_++;
-  // Threads place round-robin across HRT cores.
-  thread->core = boot_info_.hrt_cores[static_cast<std::size_t>(thread->id) %
-                                      boot_info_.hrt_cores.size()];
+  // Explicit pin wins when it names an HRT core; otherwise threads place
+  // round-robin across the HRT partition.
+  bool pinned = false;
+  if (pinned_core >= 0) {
+    for (const unsigned c : boot_info_.hrt_cores) {
+      if (c == static_cast<unsigned>(pinned_core)) {
+        thread->core = c;
+        pinned = true;
+        break;
+      }
+    }
+  }
+  if (!pinned) {
+    thread->core = boot_info_.hrt_cores[static_cast<std::size_t>(thread->id) %
+                                        boot_info_.hrt_cores.size()];
+  }
   thread->nested = nested;
   thread->channel = channel;
   NautThread* raw = thread.get();
@@ -259,9 +285,23 @@ Status Nautilus::thread_join(int id) {
     if (t->id == id) target = t.get();
   }
   if (target == nullptr) return err(Err::kNoEnt, "join: no such HRT thread");
+  const TaskId self = sched_->current();
+  bool queued = false;
   while (!target->exited) {
-    target->joiners.push_back(sched_->current());
+    // Enqueue once per blocked episode: the exit path clears the list, but a
+    // spurious wake must not add a duplicate entry.
+    if (!queued) {
+      target->joiners.push_back(self);
+      queued = true;
+    }
     sched_->block();
+    queued = std::find(target->joiners.begin(), target->joiners.end(), self) !=
+             target->joiners.end();
+  }
+  if (queued) {
+    target->joiners.erase(
+        std::remove(target->joiners.begin(), target->joiners.end(), self),
+        target->joiners.end());
   }
   return Status::ok();
 }
@@ -269,6 +309,21 @@ Status Nautilus::thread_join(int id) {
 NautThread* Nautilus::current_thread() {
   const auto it = task_threads_.find(sched_->current());
   return it == task_threads_.end() ? nullptr : it->second;
+}
+
+const NautThread* Nautilus::find_thread(int id) const {
+  for (const auto& t : threads_) {
+    if (t->id == id) return t.get();
+  }
+  return nullptr;
+}
+
+std::size_t Nautilus::live_threads_on(unsigned core) const {
+  std::size_t live = 0;
+  for (const auto& t : threads_) {
+    if (!t->exited && t->core == core) ++live;
+  }
+  return live;
 }
 
 int Nautilus::event_create() {

@@ -107,13 +107,21 @@ class Nautilus final : public vmm::HrtKernelIface {
 
   // --- threads (the paper: primitives that "outperform Linux by orders of
   // --- magnitude") -----------------------------------------------------------
+  // `pinned_core` >= 0 requests placement on that HRT core (used by the
+  // Multiverse runtime's execution-group placement policies); -1 keeps the
+  // kernel's round-robin. A pin outside the HRT partition falls back to
+  // round-robin rather than placing a kernel thread on a ROS core.
   Result<NautThread*> thread_create(std::function<void()> body, bool nested,
-                                    LegacyChannel* channel, std::string name);
+                                    LegacyChannel* channel, std::string name,
+                                    int pinned_core = -1);
   Status thread_join(int id);
   [[nodiscard]] NautThread* current_thread();
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return threads_.size();
   }
+  [[nodiscard]] const NautThread* find_thread(int id) const;
+  // Live (non-exited) kernel threads currently placed on `core`.
+  [[nodiscard]] std::size_t live_threads_on(unsigned core) const;
 
   // --- events ------------------------------------------------------------------
   int event_create();

@@ -67,6 +67,30 @@ Result<OverrideConfig> parse_override_config(const std::string& text) {
                             lineno));
         }
         config.options.ring_depth = depth;
+      } else if (tokens[1] == "service_workers") {
+        int workers = 0;
+        try {
+          workers = std::stoi(tokens[2]);
+        } catch (...) {
+          workers = 0;
+        }
+        if (workers < 1) {
+          return err(Err::kParse,
+                     strfmt("line %d: service_workers wants a positive integer",
+                            lineno));
+        }
+        config.options.service_workers = workers;
+      } else if (tokens[1] == "hrt_placement") {
+        if (tokens[2] == "round_robin") {
+          config.options.hrt_placement = HrtPlacement::kRoundRobin;
+        } else if (tokens[2] == "least_loaded") {
+          config.options.hrt_placement = HrtPlacement::kLeastLoaded;
+        } else {
+          return err(Err::kParse,
+                     strfmt("line %d: hrt_placement wants round_robin or "
+                            "least_loaded",
+                            lineno));
+        }
       } else if (tokens[1] == "fault") {
         // Validate eagerly so a typo'd fault spec fails at parse time, not
         // when the runtime builds the plan.

@@ -25,6 +25,13 @@ struct OverrideSpec {
   std::vector<std::pair<int, int>> arg_map;
 };
 
+// How the runtime places top-level HRT threads (and their channels) across
+// the HRT core partition.
+enum class HrtPlacement {
+  kRoundRobin,   // next core in partition order per group (default)
+  kLeastLoaded,  // core with the fewest live top-level HRT threads
+};
+
 struct ToolchainOptions {
   bool merge_address_space = true;
   bool symbol_cache = false;
@@ -33,6 +40,12 @@ struct ToolchainOptions {
   // doorbell (single-slot compatible cycle numbers); >1 enables batched
   // doorbells. Clamped to the channel's maximum by the runtime.
   int ring_depth = 1;
+  // Shared-daemon mode: number of ROS service workers the channel traffic is
+  // sharded across (channel id modulo worker count). 1 (default) keeps the
+  // single-daemon footprint.
+  int service_workers = 1;
+  // Placement policy for top-level HRT threads.
+  HrtPlacement hrt_placement = HrtPlacement::kRoundRobin;
   // Deterministic fault-injection spec (see support/faultplan.hpp); empty
   // means no FaultPlan is built. Validated at parse time.
   std::string fault_spec;

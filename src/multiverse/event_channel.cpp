@@ -146,8 +146,11 @@ void EventChannel::wake_next_claimer() {
 void EventChannel::wake_partner() {
   if (wake_server_) {
     wake_server_();
-  } else if (partner_idle_ && partner_ != nullptr) {
-    sched_->unblock(partner_->task);
+  } else if (partner_ != nullptr) {
+    // wake(), not unblock(): a wake aimed at a partner that is mid-service
+    // (not blocked yet) is remembered as a pending-wake token its next
+    // block() consumes, closing the checked-empty-then-blocked window.
+    sched_->wake(partner_->task);
   }
 }
 
@@ -512,11 +515,7 @@ void EventChannel::notify_thread_exit(int hrt_tid) {
 void EventChannel::mark_exit(int hrt_tid) {
   if (hrt_tid >= 0) exited_tid_ = hrt_tid;
   exit_ = true;
-  if (wake_server_) {
-    wake_server_();
-  } else if (partner_idle_ && partner_ != nullptr) {
-    sched_->unblock(partner_->task);
-  }
+  wake_partner();
 }
 
 bool EventChannel::serve_pending(ros::Thread& server) {
@@ -640,11 +639,11 @@ bool EventChannel::serve_pending(ros::Thread& server) {
 void EventChannel::service_loop() {
   MV_CHECK(partner_ != nullptr, "service_loop without a bound partner");
   for (;;) {
-    // Sleep until a submission or the exit signal arrives.
+    // Sleep until a submission or the exit signal arrives. A wake that
+    // raced this check leaves a pending-wake token; block() consumes it and
+    // the loop re-checks immediately instead of sleeping through it.
     while (!has_request() && !exit_) {
-      partner_idle_ = true;
       sched_->block();
-      partner_idle_ = false;
     }
     if (!has_request() && exit_) return;
     if (fault_mode_ &&
@@ -661,9 +660,7 @@ void EventChannel::service_loop() {
       // The head slot is unserveable — in fault mode a stale replay can
       // clobber it until the requester re-publishes. Sleep (the repair path
       // wakes us) instead of spinning in the cooperative schedule.
-      partner_idle_ = true;
       sched_->block();
-      partner_idle_ = false;
     }
   }
 }
@@ -677,9 +674,7 @@ void EventChannel::partner_die() {
   // straggler submissions, serving nothing — until the HRT thread exits, so
   // joining the partner still means "the HRT thread is done".
   while (!exit_) {
-    partner_idle_ = true;
     sched_->block();
-    partner_idle_ = false;
     fail_inflight();
   }
 }

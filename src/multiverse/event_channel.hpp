@@ -87,6 +87,10 @@ class EventChannel final : public naut::LegacyChannel {
                unsigned hrt_core, int id = 0);
 
   [[nodiscard]] int id() const noexcept { return id_; }
+  // The HRT core this channel is bound to: requester-side cycle clock,
+  // doorbell hypercall origin, and transport cost model all key off it. Must
+  // match the core the group's HRT thread actually runs on.
+  [[nodiscard]] unsigned hrt_core() const noexcept { return hrt_core_; }
 
   // Allocate the shared channel page. Must be called before use.
   Status init();
@@ -145,8 +149,9 @@ class EventChannel final : public naut::LegacyChannel {
   void mark_exit(int hrt_tid = -1);
   // ROS-side doorbell delivery (the runtime's kRaiseRos dispatcher).
   void on_doorbell();
-  // Override how the ROS-side server is woken (defaults to unblocking the
-  // bound partner's task when it is idle in service_loop()).
+  // Override how the ROS-side server is woken (defaults to a race-free
+  // Sched::wake() of the bound partner's task: a wake that lands while the
+  // partner is mid-service is remembered and consumed by its next block()).
   void set_wake_server(std::function<void()> wake) {
     wake_server_ = std::move(wake);
   }
@@ -243,7 +248,6 @@ class EventChannel final : public naut::LegacyChannel {
   std::function<void()> wake_server_;
   std::deque<TaskId> claim_waiters_;
   std::array<SlotMeta, Ring::kMaxDepth> slots_{};
-  bool partner_idle_ = false;
   bool exit_ = false;
   int exited_tid_ = -1;
   std::uint64_t requests_served_ = 0;

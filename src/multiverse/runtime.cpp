@@ -1,8 +1,11 @@
 #include "multiverse/runtime.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/strings.hpp"
 
 namespace mv::multiverse {
@@ -50,6 +53,7 @@ Result<std::uint64_t> HrtCtx::syscall(ros::SysNr nr,
   auto result = naut.syscall_stub(nr, args);
   if (nr == ros::SysNr::kExitGroup && result.is_ok()) {
     group_->finished = true;
+    rt_->release_core_load(*group_);
   }
   return result;
 }
@@ -237,6 +241,15 @@ MultiverseRuntime::MultiverseRuntime(Sched& sched, ros::LinuxSim& linux,
                                      vmm::Hvm& hvm, naut::Nautilus& naut)
     : sched_(&sched), linux_(&linux), hvm_(&hvm), naut_(&naut) {}
 
+MultiverseRuntime::~MultiverseRuntime() {
+  // The machine and HVM hold raw pointers into fault_plan_ but outlive this
+  // runtime (HybridSystem destroys members in reverse declaration order, and
+  // ROS address-space teardown still charges shootdown IPIs through the
+  // machine afterwards) — detach them before the plan is freed.
+  hvm_->set_fault_plan(nullptr);
+  hvm_->machine().set_fault_plan(nullptr);
+}
+
 Status MultiverseRuntime::startup(ros::Thread& main_thread,
                                   std::span<const std::uint8_t> fat_binary) {
   process_ = main_thread.proc;
@@ -310,15 +323,27 @@ Status MultiverseRuntime::shutdown() {
       return err(Err::kState, "shutdown with live execution groups");
     }
   }
-  // Retire the shared daemon, if the daemon mode was used.
-  if (daemon_thread_ != nullptr && !daemon_stop_) {
-    daemon_stop_ = true;
-    wake_daemon();
-    ros::Thread* self = linux_->current_thread();
-    if (self != nullptr) {
-      MV_RETURN_IF_ERROR(linux_->join_thread(*self, daemon_thread_->tid));
+  // Retire the service pool, if the shared-daemon mode was used.
+  if (!workers_.empty() && !pool_stop_) {
+    pool_stop_ = true;
+    for (ServiceWorker& worker : workers_) {
+      if (worker.thread != nullptr) sched_->wake(worker.thread->task);
     }
-    daemon_thread_ = nullptr;
+    ros::Thread* self = linux_->current_thread();
+    metrics::Histogram& busy_frac =
+        metrics::Registry::instance().histogram("service/worker_busy_frac");
+    for (ServiceWorker& worker : workers_) {
+      if (worker.thread == nullptr) continue;
+      if (self != nullptr) {
+        MV_RETURN_IF_ERROR(linux_->join_thread(*self, worker.thread->tid));
+      }
+      const Cycles lifetime = linux_->core_of(*worker.thread).cycles();
+      busy_frac.record(lifetime == 0
+                           ? 0.0
+                           : static_cast<double>(worker.busy_cycles) /
+                                 static_cast<double>(lifetime));
+    }
+    workers_.clear();
   }
   started_ = false;
   return Status::ok();
@@ -370,7 +395,15 @@ Result<ExecGroup*> MultiverseRuntime::create_group(ros::Thread& caller,
   group->id = next_group_id_++;
   group->runtime = this;
   group->body = std::move(fn);
-  const unsigned hrt_core = hvm_->config().hrt_cores.front();
+  // Place the group's top-level HRT thread across the partition (not pinned
+  // to the boot core); the channel is bound to the same core so its cycle
+  // clock and doorbells track the thread that actually uses it.
+  const unsigned hrt_core = pick_hrt_core();
+  group->hrt_core = hrt_core;
+  ++hrt_core_load_[hrt_core];
+  metrics::Registry::instance()
+      .counter(strfmt("mv/groups/per_core/%u", hrt_core))
+      .inc();
   group->channel = std::make_unique<EventChannel>(*hvm_, *linux_, *sched_,
                                                   hrt_core, group->id);
   group->channel->set_ring_depth(
@@ -384,13 +417,16 @@ Result<ExecGroup*> MultiverseRuntime::create_group(ros::Thread& caller,
 
   if (group_mode_ == GroupMode::kSharedDaemon) {
     // Future-work variant: no dedicated partner. The caller launches the HRT
-    // thread itself; one shared daemon services every channel.
+    // thread itself; the channel is sharded onto one of K service workers
+    // (group id modulo pool size) whose doorbell-fed ready queue it joins.
     raw->uses_daemon = true;
-    MV_RETURN_IF_ERROR(ensure_daemon(caller));
-    raw->partner = daemon_thread_;
-    raw->channel->bind_partner(daemon_thread_);
-    raw->channel->set_wake_server([this] { wake_daemon(); });
-    daemon_groups_.push_back(raw);
+    MV_RETURN_IF_ERROR(ensure_service_pool(caller));
+    ServiceWorker& shard =
+        workers_[static_cast<std::size_t>(raw->id) % workers_.size()];
+    raw->partner = shard.thread;
+    raw->channel->bind_partner(shard.thread);
+    raw->channel->set_wake_server([this, raw] { enqueue_ready(raw); });
+    shard.groups.push_back(raw);
     ros::NativeCtx launcher_ctx(*linux_, caller);
     MV_RETURN_IF_ERROR(launch_hrt_thread(raw, caller, launcher_ctx));
     return raw;
@@ -453,6 +489,11 @@ Status MultiverseRuntime::launch_hrt_thread(ExecGroup* group,
     return 0;
   });
 
+  // Placement hint: the comm page carries the core the policy picked
+  // (encoded core+1; 0 = kernel's choice) alongside the function pointer and
+  // stack. The AeroKernel consumes and clears it when creating the thread.
+  hvm_->comm_write(vmm::CommPage::kOffFuncCore,
+                   static_cast<std::uint64_t>(group->hrt_core) + 1);
   MV_ASSIGN_OR_RETURN(
       const std::uint64_t tid,
       hvm_->hypercall(launcher.core, vmm::Hypercall::kAsyncCall, invocation,
@@ -486,62 +527,120 @@ void MultiverseRuntime::partner_body(ExecGroup* group, ros::SysIface& pctx) {
   // exit, at which point the main thread will be unblocked").
   (void)pctx.munmap(group->hrt_stack_base, group->hrt_stack_size);
   group->finished = true;
+  release_core_load(*group);
+}
+
+// --- placement -------------------------------------------------------------
+
+unsigned MultiverseRuntime::pick_hrt_core() {
+  const std::vector<unsigned>& cores = hvm_->config().hrt_cores;
+  if (cores.size() == 1) return cores.front();
+  if (config_.options.hrt_placement == HrtPlacement::kLeastLoaded) {
+    // Ties break toward partition order, so an idle machine fills cores in
+    // the same sequence round-robin would.
+    unsigned best = cores.front();
+    int best_load = std::numeric_limits<int>::max();
+    for (const unsigned core : cores) {
+      const auto it = hrt_core_load_.find(core);
+      const int load = it == hrt_core_load_.end() ? 0 : it->second;
+      if (load < best_load) {
+        best_load = load;
+        best = core;
+      }
+    }
+    return best;
+  }
+  return cores[next_hrt_core_rr_++ % cores.size()];
+}
+
+void MultiverseRuntime::release_core_load(ExecGroup& group) {
+  if (group.hrt_load_released) return;
+  group.hrt_load_released = true;
+  const auto it = hrt_core_load_.find(group.hrt_core);
+  if (it != hrt_core_load_.end() && it->second > 0) --it->second;
 }
 
 // --- shared-daemon execution groups (future-work variant) -------------------
 
-void MultiverseRuntime::wake_daemon() {
-  if (daemon_idle_ && daemon_thread_ != nullptr) {
-    sched_->unblock(daemon_thread_->task);
+void MultiverseRuntime::enqueue_ready(ExecGroup* group) {
+  if (workers_.empty()) return;
+  ServiceWorker& shard =
+      workers_[static_cast<std::size_t>(group->id) % workers_.size()];
+  if (!group->ready_enqueued) {
+    group->ready_enqueued = true;
+    shard.ready.push_back(group);
+    MV_HISTOGRAM_RECORD(
+        &metrics::Registry::instance().histogram("service/ready_depth"),
+        static_cast<double>(shard.ready.size()));
   }
+  // Wake only this shard's worker. wake() (not unblock()) so a doorbell that
+  // lands while the worker is mid-drain is never lost: it parks a
+  // pending-wake token the worker's next block() consumes.
+  if (shard.thread != nullptr) sched_->wake(shard.thread->task);
 }
 
-Status MultiverseRuntime::ensure_daemon(ros::Thread& caller) {
-  if (daemon_thread_ != nullptr) return Status::ok();
+Status MultiverseRuntime::ensure_service_pool(ros::Thread& caller) {
+  if (!workers_.empty()) return Status::ok();
+  const int count = std::max(1, config_.options.service_workers);
+  workers_.resize(static_cast<std::size_t>(count));
   ros::Process& proc = *caller.proc;
-  ++proc.sys_counts[static_cast<std::size_t>(ros::SysNr::kClone)];
-  ++proc.total_syscalls;
-  MV_ASSIGN_OR_RETURN(
-      daemon_thread_,
-      linux_->spawn_thread(
-          proc, [this](ros::SysIface& dctx) { daemon_body(dctx); },
-          "mv-daemon"));
+  for (int i = 0; i < count; ++i) {
+    // Each worker creation is an ordinary ROS thread creation (clone), same
+    // as the classic single daemon. K == 1 keeps the historical name.
+    ++proc.sys_counts[static_cast<std::size_t>(ros::SysNr::kClone)];
+    ++proc.total_syscalls;
+    const std::size_t idx = static_cast<std::size_t>(i);
+    MV_ASSIGN_OR_RETURN(
+        workers_[idx].thread,
+        linux_->spawn_thread(
+            proc,
+            [this, idx](ros::SysIface& dctx) {
+              service_worker_body(idx, dctx);
+            },
+            count == 1 ? std::string("mv-daemon") : strfmt("mv-svc-%d", i)));
+  }
   return Status::ok();
 }
 
-void MultiverseRuntime::daemon_body(ros::SysIface& dctx) {
+void MultiverseRuntime::service_worker_body(std::size_t idx,
+                                            ros::SysIface& dctx) {
   ros::Thread* self = linux_->current_thread();
   assert(self != nullptr);
+  ServiceWorker& worker = workers_[idx];
+  hw::Core& core = linux_->core_of(*self);
   for (;;) {
-    bool progress = false;
-    for (ExecGroup* group : daemon_groups_) {
+    // Drain the ready queue: each entry is a channel whose doorbell rang (or
+    // whose exit bit flipped) since it was last serviced. New doorbells that
+    // arrive mid-drain re-enqueue the group (the dedup flag was cleared on
+    // pop) and park a wake token, so nothing is lost.
+    while (!worker.ready.empty()) {
+      ExecGroup* group = worker.ready.front();
+      worker.ready.pop_front();
+      group->ready_enqueued = false;
       if (group->finished) continue;
       EventChannel& channel = *group->channel;
-      if (channel.has_request()) {
-        progress |= channel.serve_pending(*self);
+      const Cycles busy_begin = core.cycles();
+      while (channel.serve_pending(*self)) {
       }
       if (channel.exit_requested() && !channel.has_request()) {
         (void)dctx.munmap(group->hrt_stack_base, group->hrt_stack_size);
         group->finished = true;
+        release_core_load(*group);
         for (const TaskId waiter : group->join_waiters) {
           sched_->unblock(waiter);
         }
         group->join_waiters.clear();
-        progress = true;
       }
+      worker.busy_cycles += core.cycles() - busy_begin;
     }
-    if (daemon_stop_) {
+    if (pool_stop_) {
       bool all_done = true;
-      for (const ExecGroup* group : daemon_groups_) {
+      for (const ExecGroup* group : worker.groups) {
         all_done &= group->finished;
       }
       if (all_done) return;
     }
-    if (!progress) {
-      daemon_idle_ = true;
-      sched_->block();
-      daemon_idle_ = false;
-    }
+    sched_->block();
   }
 }
 
@@ -567,12 +666,30 @@ Status MultiverseRuntime::hrt_thread_join(ros::Thread& caller, int group_id) {
   ++proc.sys_counts[static_cast<std::size_t>(ros::SysNr::kFutex)];
   ++proc.total_syscalls;
   if (group->uses_daemon) {
-    // No partner to join: park on the group until the daemon finishes it.
+    // No partner to join: park on the group until its service worker
+    // finishes it. Enqueue at most once per wait episode — a joiner that
+    // wakes (possibly spuriously) and finds the group still live must not
+    // add a second entry, or the worker's teardown would unblock it twice.
+    const TaskId self = caller.task;
+    bool queued = false;
     while (!group->finished) {
-      group->join_waiters.push_back(caller.task);
+      if (!queued) {
+        group->join_waiters.push_back(self);
+        queued = true;
+      }
       ++proc.nvcsw;
       linux_->core_of(caller).charge(hw::costs().ros_context_switch);
       sched_->block();
+      // The worker's teardown clears the whole waiter list before unblocking;
+      // recompute membership instead of assuming we are still queued.
+      queued = std::find(group->join_waiters.begin(),
+                         group->join_waiters.end(),
+                         self) != group->join_waiters.end();
+    }
+    if (queued) {
+      group->join_waiters.erase(std::remove(group->join_waiters.begin(),
+                                            group->join_waiters.end(), self),
+                                group->join_waiters.end());
     }
     return Status::ok();
   }

@@ -8,6 +8,7 @@
 // signaling), and implements AeroKernel overrides (Sec 3.4).
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <span>
@@ -33,18 +34,27 @@ struct ExecGroup {
   std::unique_ptr<EventChannel> channel;
   ros::Thread* partner = nullptr;
   int hrt_tid = -1;                 // Nautilus thread id, set after creation
+  // HRT core the placement policy picked for this group's top-level thread;
+  // the channel is bound to the same core, by construction.
+  unsigned hrt_core = 0;
   std::uint64_t hrt_stack_base = 0; // ROS-side stack the partner allocated
   std::uint64_t hrt_stack_size = 0;
   ros::GuestThreadFn body;          // what the HRT thread runs
   std::uint64_t fs_base = 0;        // TLS superposition payload
   hw::Gdt gdt;                      // GDT superposition payload
   bool finished = false;
+  // The group's placement-load contribution has been returned to the pool
+  // (idempotence guard: several teardown paths can race to release it).
+  bool hrt_load_released = false;
   // Each HRT context (top-level + nested threads) stages syscall arguments
   // in its own slice of the ROS-side stack, so concurrent requests on the
   // shared channel cannot clobber each other's buffers.
   std::uint64_t next_scratch_slice = 0;
   // Shared-daemon mode (no dedicated partner): joiners park here.
   bool uses_daemon = false;
+  // Already sitting in its service worker's ready queue (dedup flag so a
+  // burst of doorbells enqueues the group once).
+  bool ready_enqueued = false;
   std::vector<TaskId> join_waiters;
 };
 
@@ -53,8 +63,11 @@ struct ExecGroup {
 //   kDedicatedPartner — the paper's design: one ROS partner thread per
 //                       top-level HRT thread (preserves join semantics
 //                       directly, scales ROS threads with HRT threads).
-//   kSharedDaemon     — one ROS daemon services every group's channel
-//                       (constant ROS-side footprint, serialized service).
+//   kSharedDaemon     — a fixed pool of ROS service workers (default 1, the
+//                       classic daemon; `option service_workers K` shards
+//                       channels across K workers by group id) drains
+//                       doorbell-fed ready queues (constant ROS-side
+//                       footprint, service parallelism bounded by K).
 enum class GroupMode { kDedicatedPartner, kSharedDaemon };
 
 // SysIface for code executing in HRT context. Same programs, different
@@ -105,6 +118,7 @@ class MultiverseRuntime {
  public:
   MultiverseRuntime(Sched& sched, ros::LinuxSim& linux, vmm::Hvm& hvm,
                     naut::Nautilus& naut);
+  ~MultiverseRuntime();
 
   // ------ toolchain-inserted initialization (before the program's main) ----
   // Parses the fat binary, installs and boots the AeroKernel, registers the
@@ -137,6 +151,24 @@ class MultiverseRuntime {
   }
   void set_group_mode(GroupMode mode) noexcept { group_mode_ = mode; }
   [[nodiscard]] GroupMode group_mode() const noexcept { return group_mode_; }
+  // White-box inspection for placement/service-pool tests.
+  [[nodiscard]] ExecGroup* find_group(int group_id) {
+    const auto it = groups_by_id_.find(group_id);
+    return it == groups_by_id_.end() ? nullptr : it->second;
+  }
+  [[nodiscard]] std::size_t join_waiter_count(int group_id) const {
+    const auto it = groups_by_id_.find(group_id);
+    return it == groups_by_id_.end() ? 0 : it->second->join_waiters.size();
+  }
+  [[nodiscard]] std::size_t service_worker_count() const noexcept {
+    return workers_.size();
+  }
+  // Live (placed, not yet torn down) groups on an HRT core, as the
+  // least-loaded placement policy sees them.
+  [[nodiscard]] int hrt_core_load(unsigned core) const {
+    const auto it = hrt_core_load_.find(core);
+    return it == hrt_core_load_.end() ? 0 : it->second;
+  }
   // The deterministic fault plan built from `option fault` (null when the
   // config carries none).
   [[nodiscard]] FaultPlan* fault_plan() noexcept { return fault_plan_.get(); }
@@ -151,12 +183,28 @@ class MultiverseRuntime {
  private:
   friend class HrtCtx;
 
+  // One shard of the shared-daemon service pool: a ROS worker thread plus
+  // the doorbell-fed queue of groups with pending work and the shard's
+  // channel membership (group id modulo worker count).
+  struct ServiceWorker {
+    ros::Thread* thread = nullptr;
+    std::deque<ExecGroup*> ready;
+    std::vector<ExecGroup*> groups;
+    Cycles busy_cycles = 0;
+  };
+
   Result<ExecGroup*> create_group(ros::Thread& caller, ros::GuestThreadFn fn);
   void partner_body(ExecGroup* group, ros::SysIface& pctx);
-  // Shared-daemon mode internals.
-  Status ensure_daemon(ros::Thread& caller);
-  void daemon_body(ros::SysIface& dctx);
-  void wake_daemon();
+  // Shared-daemon service-pool internals.
+  Status ensure_service_pool(ros::Thread& caller);
+  void service_worker_body(std::size_t idx, ros::SysIface& dctx);
+  // Doorbell path: push the group onto its shard's ready queue (deduped) and
+  // wake only that shard's worker.
+  void enqueue_ready(ExecGroup* group);
+  // Placement policy for a new group's top-level HRT thread.
+  [[nodiscard]] unsigned pick_hrt_core();
+  // Return the group's contribution to its core's placement load (idempotent).
+  void release_core_load(ExecGroup& group);
   Status launch_hrt_thread(ExecGroup* group, ros::Thread& launcher,
                            ros::SysIface& lctx);
   void link_aerokernel_functions();
@@ -177,12 +225,15 @@ class MultiverseRuntime {
   // Trampoline registry for HVM async function-call requests.
   std::map<std::uint64_t, ExecGroup*> pending_invocations_;
   std::uint64_t next_invocation_id_ = 0x100000;
-  // Shared-daemon state.
+  // Shared-daemon service-pool state.
   GroupMode group_mode_ = GroupMode::kDedicatedPartner;
-  ros::Thread* daemon_thread_ = nullptr;
-  std::vector<ExecGroup*> daemon_groups_;
-  bool daemon_idle_ = false;
-  bool daemon_stop_ = false;
+  std::vector<ServiceWorker> workers_;
+  bool pool_stop_ = false;
+  // Placement state: round-robin cursor and per-core live-group counts (the
+  // runtime's own accounting — in dedicated-partner mode the kernel thread
+  // spawns lazily, so kernel-side thread counts lag placement decisions).
+  std::size_t next_hrt_core_rr_ = 0;
+  std::map<unsigned, int> hrt_core_load_;
 };
 
 }  // namespace mv::multiverse

@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "aerokernel/nautilus.hpp"
 #include "multiverse/runtime.hpp"
@@ -34,6 +35,12 @@ struct SystemConfig {
   std::uint64_t ros_mem_bytes = 1ull << 29;   // ROS partition
   unsigned ros_core = 0;
   unsigned hrt_core = 1;  // same socket by default; cross-socket for Fig 2
+  // Multi-core partitions (group scale-out): when non-empty these override
+  // the singular ros_core/hrt_core above. The placement policies spread
+  // top-level HRT threads over hrt_cores; the ROS schedules its threads
+  // (service workers included) round-robin over ros_cores.
+  std::vector<unsigned> ros_cores;
+  std::vector<unsigned> hrt_cores;
   bool virtualized = true;
   std::string extra_override_config;  // appended to the defaults at build
   naut::Nautilus::Config naut_config;

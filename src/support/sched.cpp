@@ -102,6 +102,12 @@ void Sched::yield() {
 void Sched::block() {
   Task* task = find(current_);
   assert(task != nullptr && "block outside a task");
+  if (task->wake_pending) {
+    // A wake arrived between the caller's emptiness check and this call:
+    // consume the token and keep running so the caller re-checks.
+    task->wake_pending = false;
+    return;
+  }
   task->blocked = true;
   Fiber::yield();
   // When we come back, someone unblocked us.
@@ -112,6 +118,17 @@ void Sched::unblock(TaskId id) {
   if (task == nullptr || task->done || !task->blocked) return;
   task->blocked = false;
   run_queue_.push_back(id);
+}
+
+void Sched::wake(TaskId id) {
+  Task* task = find(id);
+  if (task == nullptr || task->done) return;
+  if (task->blocked) {
+    task->blocked = false;
+    run_queue_.push_back(id);
+    return;
+  }
+  task->wake_pending = true;
 }
 
 unsigned Sched::current_core() const {

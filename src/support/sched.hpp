@@ -40,10 +40,19 @@ class Sched {
   // --- called from inside tasks -------------------------------------------
   // Cooperative reschedule: go to the back of the run queue.
   void yield();
-  // Block the current task until some other task unblocks it.
+  // Block the current task until some other task unblocks it. If the task
+  // holds a pending-wake token (see wake()), the token is consumed and the
+  // call returns immediately without blocking.
   void block();
   // Make `id` runnable again (no-op if it is not blocked).
   void unblock(TaskId id);
+  // Race-free idle handshake: like unblock() for a blocked target, but a
+  // wake aimed at a task that is currently running or runnable is remembered
+  // as a pending-wake token the target's next block() consumes. This closes
+  // the check-condition-then-block lost-wakeup window that a server task
+  // (event-channel partner, service-pool worker) would otherwise have when
+  // work arrives while it is mid-drain.
+  void wake(TaskId id);
 
   [[nodiscard]] TaskId current() const noexcept { return current_; }
   [[nodiscard]] unsigned current_core() const;
@@ -77,6 +86,7 @@ class Sched {
     std::unique_ptr<Fiber> fiber;
     bool blocked = false;
     bool done = false;
+    bool wake_pending = false;  // armed by wake() on a non-blocked task
   };
 
   Task* find(TaskId id);

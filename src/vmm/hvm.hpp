@@ -62,6 +62,11 @@ struct CommPage {
   static constexpr std::uint64_t kOffRosCr3 = 0x20;
   static constexpr std::uint64_t kOffSyncVaddr = 0x28;
   static constexpr std::uint64_t kOffDone = 0x30;
+  // Placement hint for a function-call request: 1 + the HRT core the new
+  // top-level thread should land on, 0 for "kernel's choice". Written by the
+  // requester before the kAsyncCall hypercall, consumed (and cleared) by the
+  // AeroKernel's event handler.
+  static constexpr std::uint64_t kOffFuncCore = 0x38;
 };
 
 // Boot information handed to the AeroKernel: an extension of multiboot2, per

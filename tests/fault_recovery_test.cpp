@@ -295,10 +295,19 @@ struct GuestObservation {
   std::map<std::string, std::uint64_t> histogram;
 };
 
-GuestObservation run_workload(const std::string& fault_spec) {
+GuestObservation run_workload(const std::string& fault_spec,
+                              bool pooled = false) {
   SystemConfig cfg;
   if (!fault_spec.empty()) {
     cfg.extra_override_config = strfmt("option fault %s\n", fault_spec.c_str());
+  }
+  if (pooled) {
+    // Scale-out configuration: multi-core HRT placement plus a sharded
+    // two-worker ROS service pool instead of dedicated partners.
+    cfg.group_mode = GroupMode::kSharedDaemon;
+    cfg.ros_cores = {0};
+    cfg.hrt_cores = {1, 2, 3};
+    cfg.extra_override_config += "option service_workers 2\n";
   }
   HybridSystem system(cfg);
   GuestObservation obs;
@@ -355,6 +364,30 @@ TEST_P(FaultScheduleProperty, RecoveredRunsMatchFaultFreeBaseline) {
   const GuestObservation faulted = run_workload(spec);
 
   // Guest-visible results are bit-identical to the fault-free run.
+  EXPECT_EQ(faulted.exit_code, 0);
+  EXPECT_EQ(faulted.checksum, baseline.checksum);
+  EXPECT_EQ(faulted.forwarded, baseline.forwarded);
+  EXPECT_EQ(faulted.served_syscalls, baseline.served_syscalls);
+  EXPECT_EQ(faulted.histogram, baseline.histogram);
+}
+
+TEST_P(FaultScheduleProperty, PooledMultiCorePlacementMatchesFaultFree) {
+  // Same property under the scale-out configuration: a sharded service pool
+  // (service_workers 2) with the HRT threads placed across three cores must
+  // recover to the fault-free pooled baseline — guest-visible results are
+  // placement- and pool-invariant even under injected channel faults.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0x5eed5eedull);
+  const double p_drop = 0.05 + 0.30 * rng.uniform();
+  const double p_dup = 0.05 + 0.30 * rng.uniform();
+  const double p_corrupt = 0.05 + 0.30 * rng.uniform();
+  const std::string spec = strfmt(
+      "seed=%llu,drop_doorbell=%.3f,dup_doorbell=%.3f,corrupt_status=%.3f",
+      static_cast<unsigned long long>(seed), p_drop, p_dup, p_corrupt);
+
+  const GuestObservation baseline = run_workload("", /*pooled=*/true);
+  const GuestObservation faulted = run_workload(spec, /*pooled=*/true);
+
   EXPECT_EQ(faulted.exit_code, 0);
   EXPECT_EQ(faulted.checksum, baseline.checksum);
   EXPECT_EQ(faulted.forwarded, baseline.forwarded);
