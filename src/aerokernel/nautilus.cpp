@@ -5,6 +5,7 @@
 
 #include "support/log.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace mv::naut {
 
@@ -141,6 +142,7 @@ void Nautilus::page_fault_handler(hw::Core& core,
   }
   last = vaddr;
 
+  MV_TRACE_SCOPE(core.id(), "guest", "page_fault_forward");
   ++forwarded_faults_;
   (void)thread->channel->forward_fault(vaddr, frame.error_code);
 }
@@ -367,6 +369,7 @@ Result<std::uint64_t> Nautilus::syscall_stub(
   NautThread* thread = current_thread();
   hw::Core& core =
       machine_->core(thread != nullptr ? thread->core : boot_core());
+  MV_TRACE_SCOPE(core.id(), "guest", sysnr_name(nr));
 
   // Ring-0 SYSCALL works ("SYSCALL has no problem making this idempotent
   // ring transition")...
@@ -415,6 +418,7 @@ std::vector<Result<std::uint64_t>> Nautilus::syscall_stub_batch(
   // whole batch — that is what the batch path buys on the stub side.
   core.charge(hw::costs().syscall_insn);
   core.charge(hw::costs().reg_op * 4);
+  MV_TRACE_SCOPE(core.id(), "guest", "syscall_batch");
 
   std::vector<Result<std::uint64_t>> out;
   out.reserve(reqs.size());

@@ -91,6 +91,21 @@ Result<OverrideConfig> parse_override_config(const std::string& text) {
                             "least_loaded",
                             lineno));
         }
+      } else if (tokens[1] == "watchdog") {
+        int mult = -1;
+        try {
+          mult = std::stoi(tokens[2]);
+        } catch (...) {
+          mult = -1;
+        }
+        if (tokens[2] == "off") mult = 0;
+        if (mult < 0) {
+          return err(Err::kParse,
+                     strfmt("line %d: watchdog wants a non-negative round-trip "
+                            "multiple (0 or 'off' disables)",
+                            lineno));
+        }
+        config.options.watchdog = mult;
       } else if (tokens[1] == "fault") {
         // Validate eagerly so a typo'd fault spec fails at parse time, not
         // when the runtime builds the plan.

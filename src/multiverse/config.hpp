@@ -46,6 +46,10 @@ struct ToolchainOptions {
   int service_workers = 1;
   // Placement policy for top-level HRT threads.
   HrtPlacement hrt_placement = HrtPlacement::kRoundRobin;
+  // Stall watchdog: flag an in-flight request once its age exceeds this
+  // multiple of the channel's modeled transport round trip (0 = off). Purely
+  // observational — flagging charges no simulated cycles.
+  int watchdog = 32;
   // Deterministic fault-injection spec (see support/faultplan.hpp); empty
   // means no FaultPlan is built. Validated at parse time.
   std::string fault_spec;

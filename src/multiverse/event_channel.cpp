@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "support/flightrec.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "support/trace.hpp"
@@ -37,11 +38,18 @@ EventChannel::EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
   doorbell_metric_ = &reg.counter(strfmt("channel/%d/doorbells", id_));
   retry_metric_ = &reg.counter(strfmt("channel/%d/retries", id_));
   degradation_metric_ = &reg.counter(strfmt("channel/%d/degradations", id_));
+  watchdog_stall_metric_ = &reg.counter("mv/watchdog/stalls");
+}
+
+EventChannel::~EventChannel() {
+  FlightRecorder::instance().unregister_state_providers(this);
 }
 
 Status EventChannel::init() {
   MV_ASSIGN_OR_RETURN(page_, hvm_->hrt_alloc(hw::kPageSize));
   page_write(Ring::kOffDepth, depth_);
+  FlightRecorder::instance().register_state_provider(
+      this, strfmt("channel/%d", id_), [this] { return debug_state(); });
   return Status::ok();
 }
 
@@ -162,14 +170,30 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
   meta.begin = requester_cycles();
   meta.kind_idx = kind == kFault ? 1 : 0;
   meta.transport_idx = sync_mode_ ? 1 : 0;
+  // Span ids are allocated unconditionally (the Tracer bumps its counter
+  // with tracing off too) so the page image is identical either way.
+  meta.span = Tracer::instance().alloc_span();
+  meta.retries = 0;
+  meta.degraded = false;
+  meta.stall_flagged = false;
 
   const std::uint64_t slot = slot_base(seq);
   page_write(slot + Ring::kSlotKind, kind);
+  page_write(slot + Ring::kSlotSpan, meta.span);
   page_write(slot + Ring::kSlotState, Ring::kSubmitted);
   page_write(Ring::kOffSubTail, seq + 1);
-  MV_HISTOGRAM_RECORD(
-      occupancy_metric_,
-      static_cast<double>(seq + 1 - page_read(Ring::kOffSubHead)));
+  const std::uint64_t occupancy = seq + 1 - page_read(Ring::kOffSubHead);
+  MV_HISTOGRAM_RECORD(occupancy_metric_, static_cast<double>(occupancy));
+  MV_TRACE_FLOW('s', hrt_core_, meta.span, meta.begin);
+  MV_TRACE_ANNOTATE(
+      hrt_core_, "span", "enqueue",
+      strfmt("\"span\":%llu,\"chan\":%d,\"seq\":%llu,\"kind\":\"%s\","
+             "\"occupancy\":%llu",
+             static_cast<unsigned long long>(meta.span), id_,
+             static_cast<unsigned long long>(seq), kKindNames[meta.kind_idx],
+             static_cast<unsigned long long>(occupancy)));
+  MV_FR_EVENT(hrt_core_, FrKind::kSubmit, meta.span, seq, occupancy,
+              kKindNames[meta.kind_idx]);
 
   if (fault_mode_ && replay_armed_ && seq % depth_ == replay_slot_) {
     // The duplicated completion delivery raced slot reuse: a stale
@@ -193,17 +217,27 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
     if (!sync_mode_) {
       ++doorbells_;
       MV_COUNTER_INC(doorbell_metric_, 1);
+      // The doorbell traverses the VMM whether or not delivery succeeds.
+      trace_vmm_hop(meta.span, "doorbell");
+      MV_FR_EVENT(hrt_core_, FrKind::kDoorbell, meta.span, seq, 0, "eager");
       if (fault_mode_ &&
           plan_->should_inject(FaultClass::kDropDoorbell, core.cycles())) {
         // The composite doorbell+injection was lost: the submission sits in
         // the ring with no wakeup. The requester's deadline recovers.
         plan_->note_injected(FaultClass::kDropDoorbell);
+        MV_TRACE_ANNOTATE(hrt_core_, "span", "fault:drop_doorbell",
+                          strfmt("\"span\":%llu", static_cast<unsigned long long>(
+                                                      meta.span)));
+        MV_FR_EVENT(hrt_core_, FrKind::kDoorbellDrop, meta.span, seq, 0, "");
         return;
       }
     } else if (fault_mode_ &&
                plan_->should_inject(FaultClass::kDelayWakeup, core.cycles())) {
       plan_->note_injected(FaultClass::kDelayWakeup);
       pending_delayed_wake_ = true;
+      MV_TRACE_ANNOTATE(hrt_core_, "span", "fault:delay_wakeup",
+                        strfmt("\"span\":%llu", static_cast<unsigned long long>(
+                                                    meta.span)));
       return;
     }
     wake_partner();
@@ -218,6 +252,9 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
         plan_->should_inject(FaultClass::kDelayWakeup, core.cycles())) {
       plan_->note_injected(FaultClass::kDelayWakeup);
       pending_delayed_wake_ = true;
+      MV_TRACE_ANNOTATE(hrt_core_, "span", "fault:delay_wakeup",
+                        strfmt("\"span\":%llu", static_cast<unsigned long long>(
+                                                    meta.span)));
       return;
     }
     wake_partner();
@@ -233,6 +270,8 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
     page_write(Ring::kOffDoorbell, 1);
     ++doorbells_;
     MV_COUNTER_INC(doorbell_metric_, 1);
+    trace_vmm_hop(meta.span, "doorbell");
+    MV_FR_EVENT(hrt_core_, FrKind::kDoorbell, meta.span, seq, 0, "batched");
     const std::uint64_t pending = seq + 1 - page_read(Ring::kOffSubHead);
     auto rung = hvm_->hypercall(hrt_core_, vmm::Hypercall::kRaiseRos,
                                 static_cast<std::uint64_t>(id_), pending);
@@ -240,8 +279,25 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
     // waking the partner task directly.
     if (!rung) wake_partner();
   } else {
+    // Coalesced onto an outstanding doorbell: no VMM traversal to trace.
     wake_partner();
   }
+}
+
+void EventChannel::trace_vmm_hop(std::uint64_t span, const char* what) {
+#if MV_TRACE_ENABLED
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  // A one-cycle slice on the synthetic VMM track plus a flow step through
+  // it: the arrow chain shows the request crossing the VMM boundary.
+  const std::uint64_t ts = t.now(hrt_core_);
+  t.complete(Tracer::kVmmTrack, "vmm", strfmt("%s chan%d", what, id_), ts,
+             ts + 1, strfmt("\"span\":%llu", static_cast<unsigned long long>(span)));
+  t.flow('t', Tracer::kVmmTrack, span, ts);
+#else
+  (void)span;
+  (void)what;
+#endif
 }
 
 Result<std::uint64_t> EventChannel::complete(std::uint64_t seq) {
@@ -250,6 +306,7 @@ Result<std::uint64_t> EventChannel::complete(std::uint64_t seq) {
   while (page_read(slot + Ring::kSlotState) !=
          static_cast<std::uint64_t>(Ring::kCompleted)) {
     sched_->block();
+    check_watchdog(seq);
   }
   return reap(seq);
 }
@@ -291,12 +348,19 @@ Result<std::uint64_t> EventChannel::reap(std::uint64_t seq) {
   MV_HISTOGRAM_RECORD(latency_metric_[meta.kind_idx][meta.transport_idx],
                       static_cast<double>(request_end - meta.begin));
   if (Tracer::instance().enabled()) {
-    Tracer::instance().complete(
-        hrt_core_, "channel",
-        strfmt("chan%d %s/%s", id_, kKindNames[meta.kind_idx],
-               kTransportNames[meta.transport_idx]),
-        meta.begin, request_end);
+    Tracer& t = Tracer::instance();
+    t.complete(hrt_core_, "channel",
+               strfmt("chan%d %s/%s", id_, kKindNames[meta.kind_idx],
+                      kTransportNames[meta.transport_idx]),
+               meta.begin, request_end,
+               strfmt("\"span\":%llu,\"retries\":%u,\"degraded\":%s,"
+                      "\"status\":%llu",
+                      static_cast<unsigned long long>(meta.span), meta.retries,
+                      meta.degraded ? "true" : "false",
+                      static_cast<unsigned long long>(status_code)));
+    t.flow('f', hrt_core_, meta.span, request_end);
   }
+  MV_FR_EVENT(hrt_core_, FrKind::kComplete, meta.span, seq, status_code, "");
   // The freed slot is claimable: hand it to the oldest queued claimer.
   wake_next_claimer();
 
@@ -317,6 +381,7 @@ Result<std::uint64_t> EventChannel::reap(std::uint64_t seq) {
 
 Result<std::uint64_t> EventChannel::complete_hardened(std::uint64_t seq) {
   const std::uint64_t slot = slot_base(seq);
+  SlotMeta& meta = slots_[seq % depth_];
   hw::Core& core = hvm_->machine().core(hrt_core_);
   // A generous first deadline (several uncontended async round trips) so a
   // healthy channel never times out; each expiry doubles it. The poll charge
@@ -360,12 +425,13 @@ Result<std::uint64_t> EventChannel::complete_hardened(std::uint64_t seq) {
     }
     core.charge(kPollCycles);
     sched_->yield();
+    check_watchdog(seq);
     if (requester_cycles() - wait_begin < deadline) continue;
     // Deadline expired: presume the wakeup was lost and re-drive the
     // transport, with exponential backoff and a hard retry cap.
     ++attempts;
     MV_CHECK(attempts <= kMaxAttempts, "event-channel retry limit exceeded");
-    doorbell_presumed_lost |= retry_transport();
+    doorbell_presumed_lost |= retry_transport(meta);
     deadline *= 2;
     wait_begin = requester_cycles();
   }
@@ -379,10 +445,15 @@ Result<std::uint64_t> EventChannel::complete_hardened(std::uint64_t seq) {
 // Re-drive the transport after a deadline expiry. Returns true when the
 // expiry was attributed to a lost async doorbell (the degradation ladder's
 // currency); delayed-wakeup and sync-mode expiries return false.
-bool EventChannel::retry_transport() {
+bool EventChannel::retry_transport(SlotMeta& meta) {
   ++retries_;
+  ++meta.retries;
   MV_COUNTER_INC(retry_metric_, 1);
-  MV_TRACE_INSTANT(hrt_core_, "channel", "retry");
+  MV_TRACE_ANNOTATE(hrt_core_, "channel", "retry",
+                    strfmt("\"span\":%llu,\"attempt\":%u",
+                           static_cast<unsigned long long>(meta.span),
+                           meta.retries));
+  MV_FR_EVENT(hrt_core_, FrKind::kRetry, meta.span, meta.retries, 0, "");
   if (pending_delayed_wake_) {
     // The submit-side wakeup was delayed, not lost; deliver it now.
     pending_delayed_wake_ = false;
@@ -401,13 +472,16 @@ bool EventChannel::retry_transport() {
   static constexpr unsigned kDegradeThreshold = 3;
   ++consecutive_doorbell_losses_;
   if (consecutive_doorbell_losses_ >= kDegradeThreshold) {
-    degrade_to_sync();
+    degrade_to_sync(meta.span);
+    meta.degraded = true;
     wake_partner();
     return true;
   }
   // Re-ring the doorbell for the whole pending window.
   ++doorbells_;
   MV_COUNTER_INC(doorbell_metric_, 1);
+  trace_vmm_hop(meta.span, "re-doorbell");
+  MV_FR_EVENT(hrt_core_, FrKind::kDoorbell, meta.span, 0, 0, "retry");
   const std::uint64_t pending =
       page_read(Ring::kOffSubTail) - page_read(Ring::kOffSubHead);
   auto rung = hvm_->hypercall(hrt_core_, vmm::Hypercall::kRaiseRos,
@@ -416,10 +490,13 @@ bool EventChannel::retry_transport() {
   return true;
 }
 
-void EventChannel::degrade_to_sync() {
+void EventChannel::degrade_to_sync(std::uint64_t span) {
   ++degradations_;
   MV_COUNTER_INC(degradation_metric_, 1);
-  MV_TRACE_INSTANT(hrt_core_, "channel", "degrade_to_sync");
+  MV_TRACE_ANNOTATE(hrt_core_, "channel", "degrade_to_sync",
+                    strfmt("\"span\":%llu",
+                           static_cast<unsigned long long>(span)));
+  MV_FR_EVENT(hrt_core_, FrKind::kDegrade, span, 0, 0, "");
   consecutive_doorbell_losses_ = 0;
   // One kSetupSyncCall hands the ROS side the polling address; every later
   // round trip is the pure memory protocol.
@@ -531,6 +608,8 @@ bool EventChannel::serve_pending(ros::Thread& server) {
   }
   ros::LinuxSim& kernel = *linux_;
   hw::Core& ros_core = kernel.core_of(server);
+  const std::uint64_t span = page_read(slot + Ring::kSlotSpan);
+  const Cycles serve_begin = ros_core.cycles();
 
   // Validate the request kind *before* counting it as served: malformed
   // requests get a protocol-error response and their own counter, so the
@@ -631,6 +710,18 @@ bool EventChannel::serve_pending(ros::Thread& server) {
     ros_core.charge(hw::costs().user_interrupt_setup);
   }
 
+  if (Tracer::instance().enabled()) {
+    // Serve-side hop of the span chain, in the ROS core's cycle domain.
+    Tracer& t = Tracer::instance();
+    t.flow('t', server.core, span, serve_begin);
+    t.complete(server.core, "channel", strfmt("serve chan%d", id_),
+               serve_begin, ros_core.cycles(),
+               strfmt("\"span\":%llu,\"seq\":%llu",
+                      static_cast<unsigned long long>(span),
+                      static_cast<unsigned long long>(head)));
+  }
+  MV_FR_EVENT(server.core, FrKind::kServe, span, head, rsp_status, "");
+
   const TaskId requester = slots_[head % depth_].requester;
   if (requester != kNoTask) sched_->unblock(requester);
   return true;
@@ -669,6 +760,11 @@ void EventChannel::partner_die() {
   partner_died_ = true;
   if (plan_ != nullptr) plan_->note_injected(FaultClass::kPartnerDeath);
   MV_TRACE_INSTANT(partner_->core, "channel", "partner_death");
+  MV_FR_EVENT(partner_->core, FrKind::kPartnerDeath, 0,
+              static_cast<std::uint64_t>(id_), 0, "");
+  // Snapshot before fail_inflight() so the stuck slots are still visible.
+  FlightRecorder::instance().take_snapshot(
+      strfmt("partner-death: chan%d", id_));
   fail_inflight();
   // Preserve join semantics: the partner's task lingers — failing any
   // straggler submissions, serving nothing — until the HRT thread exits, so
@@ -702,6 +798,58 @@ void EventChannel::fail_inflight() {
   }
   page_write(Ring::kOffSubHead, tail);
   if (page_read(Ring::kOffDoorbell) != 0) page_write(Ring::kOffDoorbell, 0);
+}
+
+void EventChannel::check_watchdog(std::uint64_t seq) {
+  if (watchdog_mult_ == 0) return;
+  SlotMeta& meta = slots_[seq % depth_];
+  if (meta.stall_flagged || meta.requester == kNoTask) return;
+  const Cycles age = requester_cycles() - meta.begin;
+  if (age <= static_cast<Cycles>(watchdog_mult_) * transport_cost()) return;
+  // Flag each slot occupancy at most once; the snapshot carries the stuck
+  // slot's full state. Everything here is host-side: zero cycles charged.
+  meta.stall_flagged = true;
+  ++watchdog_stalls_;
+  MV_COUNTER_INC(watchdog_stall_metric_, 1);
+  MV_FR_EVENT(hrt_core_, FrKind::kWatchdogStall, meta.span, seq, age, "");
+  MV_TRACE_ANNOTATE(hrt_core_, "channel", "watchdog_stall",
+                    strfmt("\"span\":%llu,\"age\":%llu",
+                           static_cast<unsigned long long>(meta.span),
+                           static_cast<unsigned long long>(age)));
+  FlightRecorder::instance().take_snapshot(
+      strfmt("watchdog: chan%d seq=%llu span=%llu age=%llu", id_,
+             static_cast<unsigned long long>(seq),
+             static_cast<unsigned long long>(meta.span),
+             static_cast<unsigned long long>(age)));
+}
+
+std::string EventChannel::debug_state() const {
+  if (page_ == 0) return "uninitialized";
+  const std::uint64_t head = page_read(Ring::kOffSubHead);
+  const std::uint64_t tail = page_read(Ring::kOffSubTail);
+  std::string out = strfmt(
+      "head=%llu tail=%llu depth=%u doorbell=%llu sync=%d partner_dead=%d",
+      static_cast<unsigned long long>(head),
+      static_cast<unsigned long long>(tail), depth_,
+      static_cast<unsigned long long>(page_read(Ring::kOffDoorbell)),
+      sync_mode_ ? 1 : 0, partner_died_ ? 1 : 0);
+  const Cycles now = requester_cycles();
+  for (std::uint64_t seq = head; seq != tail; ++seq) {
+    const std::uint64_t slot = slot_base(seq);
+    const SlotMeta& meta = slots_[seq % depth_];
+    out += strfmt(
+        "\n  slot seq=%llu state=%llu kind=%llu span=%llu requester=%llu "
+        "age=%llu%s",
+        static_cast<unsigned long long>(seq),
+        static_cast<unsigned long long>(page_read(slot + Ring::kSlotState)),
+        static_cast<unsigned long long>(page_read(slot + Ring::kSlotKind)),
+        static_cast<unsigned long long>(meta.span),
+        static_cast<unsigned long long>(meta.requester),
+        static_cast<unsigned long long>(now >= meta.begin ? now - meta.begin
+                                                          : 0),
+        meta.stall_flagged ? " STALLED" : "");
+  }
+  return out;
 }
 
 }  // namespace mv::multiverse

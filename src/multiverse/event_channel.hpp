@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "aerokernel/nautilus.hpp"
@@ -69,6 +70,10 @@ class EventChannel final : public naut::LegacyChannel {
     // Lets a requester distinguish its own completion from a stale duplicate
     // aimed at an earlier occupant of the same physical slot.
     static constexpr std::uint64_t kSlotRspSeq = 0x68;
+    // Causal span id of the request occupying the slot: the requester stamps
+    // it at submit and both sides thread it through their trace/flight-
+    // recorder events, so one request is one arrow chain across contexts.
+    static constexpr std::uint64_t kSlotSpan = 0x70;
     // Slot lifecycle: free -> submitted -> completed -> free. A slot is
     // reusable only once the submitter has reaped the completion.
     enum State : std::uint64_t {
@@ -85,6 +90,7 @@ class EventChannel final : public naut::LegacyChannel {
   // execution-group id; white-box tests may leave the default).
   EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
                unsigned hrt_core, int id = 0);
+  ~EventChannel() override;
 
   [[nodiscard]] int id() const noexcept { return id_; }
   // The HRT core this channel is bound to: requester-side cycle clock,
@@ -120,6 +126,18 @@ class EventChannel final : public naut::LegacyChannel {
     fault_mode_ = plan != nullptr && plan->channel_armed();
   }
   [[nodiscard]] bool fault_mode() const noexcept { return fault_mode_; }
+
+  // Virtual-time stall watchdog: an in-flight request older than
+  // `mult` x transport round trip is flagged once (flight-recorder snapshot
+  // + mv/watchdog/stalls). 0 disables. Purely observational: checking reads
+  // clocks but charges nothing, so results are identical with it on or off.
+  void set_watchdog_multiple(unsigned mult) noexcept { watchdog_mult_ = mult; }
+  [[nodiscard]] unsigned watchdog_multiple() const noexcept {
+    return watchdog_mult_;
+  }
+  [[nodiscard]] std::uint64_t watchdog_stalls() const noexcept {
+    return watchdog_stalls_;
+  }
   // The partner thread died mid-service; in-flight and future requests fail
   // with kIo until the group tears down.
   [[nodiscard]] bool partner_dead() const noexcept { return partner_died_; }
@@ -190,6 +208,10 @@ class EventChannel final : public naut::LegacyChannel {
     Cycles begin = 0;
     std::size_t kind_idx = 0;
     std::size_t transport_idx = 0;
+    std::uint64_t span = 0;       // causal span id (mirrors kSlotSpan)
+    unsigned retries = 0;         // transport re-drives for this request
+    bool degraded = false;        // completed after async->sync degradation
+    bool stall_flagged = false;   // watchdog fired for this occupancy
   };
 
   std::uint64_t page_read(std::uint64_t off) const;
@@ -223,8 +245,16 @@ class EventChannel final : public naut::LegacyChannel {
   // Deadline expiry handling: re-drive whatever transport the request used;
   // may degrade the channel to the sync transport. Returns true when the
   // expiry was attributed to a lost async doorbell.
-  bool retry_transport();
-  void degrade_to_sync();
+  bool retry_transport(SlotMeta& meta);
+  void degrade_to_sync(std::uint64_t span);
+  // One-cycle "vmm" slice + flow hop on the synthetic VMM track, tying the
+  // doorbell traversal into the request's span chain.
+  void trace_vmm_hop(std::uint64_t span, const char* what);
+  // Stall watchdog (see set_watchdog_multiple). Called from the requester's
+  // completion waits; flags each slot occupancy at most once.
+  void check_watchdog(std::uint64_t seq);
+  // Flight-recorder state provider: ring pointers + in-flight slots.
+  [[nodiscard]] std::string debug_state() const;
   // Partner-death paths (fault mode): fail every in-flight submission with
   // kIo, then linger (serving nothing) until the HRT thread exits so join
   // semantics survive the death.
@@ -278,6 +308,8 @@ class EventChannel final : public naut::LegacyChannel {
   unsigned consecutive_doorbell_losses_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t degradations_ = 0;
+  unsigned watchdog_mult_ = 0;
+  std::uint64_t watchdog_stalls_ = 0;
 
   // Cached metrics instruments, resolved once at construction:
   // latency_[kind][transport] with kind in {syscall, fault} and transport in
@@ -291,6 +323,7 @@ class EventChannel final : public naut::LegacyChannel {
   metrics::Counter* doorbell_metric_ = nullptr;
   metrics::Counter* retry_metric_ = nullptr;
   metrics::Counter* degradation_metric_ = nullptr;
+  metrics::Counter* watchdog_stall_metric_ = nullptr;
 };
 
 }  // namespace mv::multiverse

@@ -4,9 +4,11 @@
 #include <cassert>
 #include <limits>
 
+#include "support/flightrec.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace mv::multiverse {
 
@@ -248,6 +250,7 @@ MultiverseRuntime::~MultiverseRuntime() {
   // machine afterwards) — detach them before the plan is freed.
   hvm_->set_fault_plan(nullptr);
   hvm_->machine().set_fault_plan(nullptr);
+  FlightRecorder::instance().unregister_state_providers(this);
 }
 
 Status MultiverseRuntime::startup(ros::Thread& main_thread,
@@ -408,6 +411,8 @@ Result<ExecGroup*> MultiverseRuntime::create_group(ros::Thread& caller,
                                                   hrt_core, group->id);
   group->channel->set_ring_depth(
       static_cast<unsigned>(config_.options.ring_depth));
+  group->channel->set_watchdog_multiple(
+      static_cast<unsigned>(std::max(0, config_.options.watchdog)));
   if (fault_plan_ != nullptr) group->channel->set_fault_plan(fault_plan_.get());
   MV_RETURN_IF_ERROR(group->channel->init());
 
@@ -572,6 +577,9 @@ void MultiverseRuntime::enqueue_ready(ExecGroup* group) {
     MV_HISTOGRAM_RECORD(
         &metrics::Registry::instance().histogram("service/ready_depth"),
         static_cast<double>(shard.ready.size()));
+    MV_FR_EVENT(group->hrt_core, FrKind::kReadyEnqueue, 0,
+                static_cast<std::uint64_t>(group->id), shard.ready.size(),
+                "");
   }
   // Wake only this shard's worker. wake() (not unblock()) so a doorbell that
   // lands while the worker is mid-drain is never lost: it parks a
@@ -598,7 +606,23 @@ Status MultiverseRuntime::ensure_service_pool(ros::Thread& caller) {
               service_worker_body(idx, dctx);
             },
             count == 1 ? std::string("mv-daemon") : strfmt("mv-svc-%d", i)));
+    // Role-named Perfetto track: the worker owns its ROS core for the run.
+    Tracer::instance().set_track_name(workers_[idx].thread->core,
+                                      strfmt("ros/worker-%d", i));
   }
+  FlightRecorder::instance().register_state_provider(
+      this, "service-pool", [this] {
+        std::string out;
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+          const ServiceWorker& worker = workers_[i];
+          if (!out.empty()) out += "\n";
+          out += strfmt("worker %zu: ready_depth=%zu groups=%zu "
+                        "busy_cycles=%llu",
+                        i, worker.ready.size(), worker.groups.size(),
+                        static_cast<unsigned long long>(worker.busy_cycles));
+        }
+        return out;
+      });
   return Status::ok();
 }
 

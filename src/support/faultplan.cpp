@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "support/flightrec.hpp"
 #include "support/strings.hpp"
 
 namespace mv {
@@ -126,11 +127,17 @@ void FaultPlan::note_injected(FaultClass c) {
   ++injected_[static_cast<std::size_t>(c)];
   MV_COUNTER_INC(injected_metric_, 1);
   MV_COUNTER_INC(class_metric_[static_cast<std::size_t>(c)], 1);
+  MV_FR_EVENT(FlightRecorder::instance().current_core(),
+              FrKind::kFaultInject, 0, static_cast<std::uint64_t>(c), 0,
+              fault_class_name(c));
 }
 
 void FaultPlan::note_recovered(FaultClass c) {
   ++recovered_[static_cast<std::size_t>(c)];
   MV_COUNTER_INC(recovered_metric_, 1);
+  MV_FR_EVENT(FlightRecorder::instance().current_core(),
+              FrKind::kFaultRecover, 0, static_cast<std::uint64_t>(c), 0,
+              fault_class_name(c));
 }
 
 std::uint64_t FaultPlan::injected_total() const noexcept {

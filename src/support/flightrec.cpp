@@ -1,0 +1,143 @@
+#include "support/flightrec.hpp"
+
+#include <cstdio>
+
+#include "support/strings.hpp"
+#include "support/trace.hpp"
+
+namespace mv {
+
+const char* fr_kind_name(FrKind k) noexcept {
+  switch (k) {
+    case FrKind::kSubmit: return "submit";
+    case FrKind::kServe: return "serve";
+    case FrKind::kComplete: return "complete";
+    case FrKind::kRetry: return "retry";
+    case FrKind::kDegrade: return "degrade";
+    case FrKind::kDoorbell: return "doorbell";
+    case FrKind::kDoorbellDrop: return "doorbell_drop";
+    case FrKind::kReadyEnqueue: return "ready_enqueue";
+    case FrKind::kFaultInject: return "fault_inject";
+    case FrKind::kFaultRecover: return "fault_recover";
+    case FrKind::kSchedBlock: return "sched_block";
+    case FrKind::kSchedWake: return "sched_wake";
+    case FrKind::kPartnerDeath: return "partner_death";
+    case FrKind::kWatchdogStall: return "watchdog_stall";
+    case FrKind::kExit: return "exit";
+  }
+  return "?";
+}
+
+FlightRecorder& FlightRecorder::instance() noexcept {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::record(unsigned core, FrKind kind, std::uint64_t span,
+                            std::uint64_t a, std::uint64_t b,
+                            const char* tag) {
+  if (!enabled_) return;
+  if (rings_.size() <= core) rings_.resize(core + 1);
+  CoreRing& ring = rings_[core];
+  if (ring.ring.empty()) ring.ring.resize(kRingCap);
+  Rec& rec = ring.ring[ring.count % kRingCap];
+  rec.cycles = Tracer::instance().now(core);
+  rec.span = span;
+  rec.a = a;
+  rec.b = b;
+  rec.kind = kind;
+  rec.tag = tag;
+  ++ring.count;
+}
+
+void FlightRecorder::bind_core_source(const void* owner, CoreFn fn) {
+  core_owner_ = owner;
+  core_fn_ = std::move(fn);
+}
+
+void FlightRecorder::clear_core_source(const void* owner) noexcept {
+  if (core_owner_ == owner) {
+    core_owner_ = nullptr;
+    core_fn_ = nullptr;
+  }
+}
+
+void FlightRecorder::register_state_provider(const void* owner,
+                                             std::string label, StateFn fn) {
+  providers_.push_back(Provider{owner, std::move(label), std::move(fn)});
+}
+
+void FlightRecorder::unregister_state_providers(const void* owner) noexcept {
+  std::erase_if(providers_,
+                [owner](const Provider& p) { return p.owner == owner; });
+}
+
+std::string FlightRecorder::render_events() const {
+  std::string out;
+  for (std::size_t core = 0; core < rings_.size(); ++core) {
+    const CoreRing& ring = rings_[core];
+    if (ring.count == 0) continue;
+    out += strfmt("-- core %zu: %llu events, last %zu --\n", core,
+                  static_cast<unsigned long long>(ring.count),
+                  static_cast<std::size_t>(
+                      ring.count < kRingCap ? ring.count : kRingCap));
+    const std::uint64_t n = ring.count < kRingCap ? ring.count : kRingCap;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Rec& rec = ring.ring[(ring.count - n + i) % kRingCap];
+      out += strfmt("  [%llu] %s span=%llu a=%llu b=%llu%s%s\n",
+                    static_cast<unsigned long long>(rec.cycles),
+                    fr_kind_name(rec.kind),
+                    static_cast<unsigned long long>(rec.span),
+                    static_cast<unsigned long long>(rec.a),
+                    static_cast<unsigned long long>(rec.b),
+                    rec.tag[0] != '\0' ? " " : "", rec.tag);
+    }
+  }
+  return out;
+}
+
+std::string FlightRecorder::take_snapshot(const std::string& reason) {
+  std::string text = "=== flight-recorder snapshot: " + reason + " ===\n";
+  for (const Provider& p : providers_) {
+    text += "-- " + p.label + " --\n";
+    text += p.fn();
+    if (text.back() != '\n') text += '\n';
+  }
+  text += render_events();
+  snapshots_.push_back(text);
+  if (snapshots_.size() > kMaxSnapshots) snapshots_.pop_front();
+  ++snapshot_count_;
+  return text;
+}
+
+void FlightRecorder::dump_to_stderr(const char* reason) noexcept {
+  // Reentrancy guard: a state provider may itself hit MV_CHECK while reading
+  // corrupted state mid-dump; the nested abort must not recurse here.
+  if (dumping_) return;
+  dumping_ = true;
+  std::fputs("=== flight recorder", stderr);
+  if (reason != nullptr && reason[0] != '\0') {
+    std::fputs(" (", stderr);
+    std::fputs(reason, stderr);
+    std::fputs(")", stderr);
+  }
+  std::fputs(" ===\n", stderr);
+  for (const std::string& snap : snapshots_) std::fputs(snap.c_str(), stderr);
+  for (const Provider& p : providers_) {
+    std::fputs(("-- " + p.label + " --\n").c_str(), stderr);
+    const std::string state = p.fn();
+    std::fputs(state.c_str(), stderr);
+    if (state.empty() || state.back() != '\n') std::fputs("\n", stderr);
+  }
+  std::fputs(render_events().c_str(), stderr);
+  std::fflush(stderr);
+  dumping_ = false;
+}
+
+void FlightRecorder::reset() {
+  rings_.clear();
+  snapshots_.clear();
+  snapshot_count_ = 0;
+}
+
+}  // namespace mv

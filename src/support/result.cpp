@@ -3,12 +3,26 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/flightrec.hpp"
+#include "support/trace.hpp"
+
 namespace mv {
 
 void check_failed(const char* expr, const char* file, int line,
                   const std::string& detail) {
-  std::fprintf(stderr, "MV_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+  // Stamp the abort with where the simulation actually was: the core the
+  // scheduler says is executing and that core's simulated cycle count.
+  FlightRecorder& recorder = FlightRecorder::instance();
+  const unsigned core = recorder.current_core();
+  const std::uint64_t cycle = Tracer::instance().now(core);
+  std::fprintf(stderr,
+               "MV_CHECK failed at %s:%d [core %u @ cycle %llu]: %s%s%s\n",
+               file, line, core, static_cast<unsigned long long>(cycle), expr,
                detail.empty() ? "" : " — ", detail.c_str());
+  // Post-mortem context: recent structured events plus live component state.
+  // dump_to_stderr() is reentrancy-guarded, so a state provider that itself
+  // fails an MV_CHECK mid-dump falls straight through to abort().
+  recorder.dump_to_stderr(expr);
   std::fflush(stderr);
   std::abort();
 }

@@ -128,8 +128,10 @@ class Result {
   std::variant<T, Status> v_;
 };
 
-// Abort path for MV_CHECK / MV_CHECK_OK: prints the failing expression and
-// detail to stderr, then aborts. Never compiled out.
+// Abort path for MV_CHECK / MV_CHECK_OK / MV_FAIL: prints the failing
+// expression and detail to stderr together with the executing simulated core
+// and its current cycle, dumps the flight recorder (recent per-core events,
+// component state snapshots), then aborts. Never compiled out.
 [[noreturn]] void check_failed(const char* expr, const char* file, int line,
                                const std::string& detail);
 
@@ -150,6 +152,10 @@ Status as_status(const Result<T>& r) {
   do {                                                                \
     if (!(cond)) ::mv::check_failed(#cond, __FILE__, __LINE__, detail); \
   } while (0)
+
+// Unconditional failure: aborts through the same core/cycle-stamped,
+// flight-recorder-dumping path as a failed MV_CHECK.
+#define MV_FAIL(detail) ::mv::check_failed("MV_FAIL", __FILE__, __LINE__, detail)
 
 // Check that a Status / Result expression is OK; aborts with its message.
 #define MV_CHECK_OK(expr)                                            \

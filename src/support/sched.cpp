@@ -2,13 +2,31 @@
 
 #include <cassert>
 
+#include "support/flightrec.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "support/trace.hpp"
 
 namespace mv {
 
-Sched::~Sched() = default;
+Sched::Sched() {
+  FlightRecorder& recorder = FlightRecorder::instance();
+  recorder.bind_core_source(this, [this] { return current_core(); });
+  recorder.register_state_provider(this, "sched", [this] {
+    std::string out = strfmt("live=%zu current=%llu", live_,
+                             static_cast<unsigned long long>(current_));
+    for (const std::string& name : blocked_names()) {
+      out += "\n  blocked: " + name;
+    }
+    return out;
+  });
+}
+
+Sched::~Sched() {
+  FlightRecorder& recorder = FlightRecorder::instance();
+  recorder.clear_core_source(this);
+  recorder.unregister_state_providers(this);
+}
 
 TaskId Sched::spawn(unsigned core, std::function<void()> fn,
                     std::string name) {
@@ -109,6 +127,7 @@ void Sched::block() {
     return;
   }
   task->blocked = true;
+  MV_FR_EVENT(task->core, FrKind::kSchedBlock, 0, task->id, task->core, "");
   Fiber::yield();
   // When we come back, someone unblocked us.
 }
@@ -117,6 +136,7 @@ void Sched::unblock(TaskId id) {
   Task* task = find(id);
   if (task == nullptr || task->done || !task->blocked) return;
   task->blocked = false;
+  MV_FR_EVENT(task->core, FrKind::kSchedWake, 0, task->id, task->core, "");
   run_queue_.push_back(id);
 }
 
@@ -125,6 +145,7 @@ void Sched::wake(TaskId id) {
   if (task == nullptr || task->done) return;
   if (task->blocked) {
     task->blocked = false;
+    MV_FR_EVENT(task->core, FrKind::kSchedWake, 0, task->id, task->core, "");
     run_queue_.push_back(id);
     return;
   }

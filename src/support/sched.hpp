@@ -23,7 +23,10 @@ inline constexpr TaskId kNoTask = 0;
 
 class Sched {
  public:
-  Sched() = default;
+  // Construction binds this scheduler as the flight recorder's current-core
+  // source and blocked-task state provider (owner-token semantics: the most
+  // recently constructed scheduler wins; destruction only unbinds itself).
+  Sched();
   ~Sched();
 
   Sched(const Sched&) = delete;

@@ -15,6 +15,7 @@ void Tracer::reset() {
   events_.clear();
   track_names_.clear();
   dropped_ = 0;
+  last_span_ = 0;
 }
 
 void Tracer::bind_clock(const void* owner, CycleFn fn) {
@@ -44,7 +45,8 @@ bool Tracer::push(Event e) {
 }
 
 void Tracer::complete(unsigned core, const char* category, std::string name,
-                      std::uint64_t begin_cycles, std::uint64_t end_cycles) {
+                      std::uint64_t begin_cycles, std::uint64_t end_cycles,
+                      std::string args_json) {
   if (!enabled_) return;
   Event e;
   e.phase = 'X';
@@ -53,10 +55,12 @@ void Tracer::complete(unsigned core, const char* category, std::string name,
   e.dur = end_cycles >= begin_cycles ? end_cycles - begin_cycles : 0;
   e.category = category;
   e.name = std::move(name);
+  e.args = std::move(args_json);
   push(std::move(e));
 }
 
-void Tracer::instant(unsigned core, const char* category, std::string name) {
+void Tracer::instant(unsigned core, const char* category, std::string name,
+                     std::string args_json) {
   if (!enabled_) return;
   Event e;
   e.phase = 'i';
@@ -64,6 +68,21 @@ void Tracer::instant(unsigned core, const char* category, std::string name) {
   e.ts = now(core);
   e.category = category;
   e.name = std::move(name);
+  e.args = std::move(args_json);
+  push(std::move(e));
+}
+
+void Tracer::flow(char phase, unsigned core, SpanId id, std::uint64_t ts,
+                  std::string args_json) {
+  if (!enabled_) return;
+  Event e;
+  e.phase = phase;  // 's', 't', or 'f'
+  e.core = core;
+  e.ts = ts;
+  e.flow_id = id;
+  e.category = "span";
+  e.name = "request";
+  e.args = std::move(args_json);
   push(std::move(e));
 }
 
@@ -141,6 +160,15 @@ std::string Tracer::to_chrome_json() const {
       obj += ",\"s\":\"t\"";
     } else if (e.phase == 'C') {
       obj += strfmt(",\"args\":{\"value\":%.17g}", e.value);
+    } else if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+      // Flow events bind by (cat, name, id); "bp":"e" makes the terminator
+      // attach to the enclosing slice instead of the next one.
+      obj += strfmt(",\"id\":\"%llu\"",
+                    static_cast<unsigned long long>(e.flow_id));
+      if (e.phase == 'f') obj += ",\"bp\":\"e\"";
+    }
+    if (e.phase != 'C' && !e.args.empty()) {
+      obj += strfmt(",\"args\":{%s}", e.args.c_str());
     }
     obj += "}";
     emit(obj);

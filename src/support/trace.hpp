@@ -34,8 +34,18 @@
 
 namespace mv {
 
+// Causal request-span identity: one SpanId per cross-domain request, carried
+// through the channel slot words and stitched back together in the exported
+// trace as a Perfetto flow ('s'/'t'/'f' arrows across core tracks).
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
 class Tracer {
  public:
+  // Synthetic track for VMM doorbell/injection hops. High enough to never
+  // collide with a real core id; named "vmm" by the HVM at construction.
+  static constexpr unsigned kVmmTrack = 99;
+
   static Tracer& instance() noexcept;
 
   // --- lifecycle -----------------------------------------------------------
@@ -62,15 +72,32 @@ class Tracer {
   // Human-readable name for a core's track in the exported trace.
   void set_track_name(unsigned core, std::string name);
 
+  // --- span identity --------------------------------------------------------
+  // Allocate the next SpanId. Deliberately *not* gated on enabled(): the id
+  // sequence (and thus the value written into channel slot words) is
+  // identical whether tracing is on or off, so toggling instrumentation
+  // cannot change a single simulated byte or cycle.
+  SpanId alloc_span() noexcept { return ++last_span_; }
+  [[nodiscard]] SpanId last_span() const noexcept { return last_span_; }
+
   // --- event emission (all no-ops while disabled) --------------------------
+  // `args_json` (where accepted) is a pre-rendered JSON object body without
+  // the enclosing braces, e.g. "\"span\":7,\"retries\":2"; empty emits none.
   // Complete ("X") event: a span of [begin, end] cycles on `core`'s track.
   void complete(unsigned core, const char* category, std::string name,
-                std::uint64_t begin_cycles, std::uint64_t end_cycles);
+                std::uint64_t begin_cycles, std::uint64_t end_cycles,
+                std::string args_json = {});
   // Instant ("i") event at the core's current cycle.
-  void instant(unsigned core, const char* category, std::string name);
+  void instant(unsigned core, const char* category, std::string name,
+               std::string args_json = {});
   // Counter ("C") sample at the core's current cycle.
   void counter(unsigned core, const char* category, std::string name,
                double value);
+  // Flow event: phase 's' (start), 't' (step), or 'f' (end) of span `id` on
+  // `core`'s track at explicit timestamp `ts`. All flow events share one
+  // cat/name pair ("span"/"request") so viewers bind the chain correctly.
+  void flow(char phase, unsigned core, SpanId id, std::uint64_t ts,
+            std::string args_json = {});
 
   // --- introspection / export ----------------------------------------------
   [[nodiscard]] std::size_t event_count() const noexcept {
@@ -90,13 +117,16 @@ class Tracer {
   Tracer() = default;
 
   struct Event {
-    char phase = 'X';        // 'X' complete, 'i' instant, 'C' counter
+    char phase = 'X';        // 'X' complete, 'i' instant, 'C' counter,
+                             // 's'/'t'/'f' flow start/step/end
     unsigned core = 0;
     std::uint64_t ts = 0;    // simulated cycles
     std::uint64_t dur = 0;   // complete events only
     double value = 0.0;      // counter events only
+    SpanId flow_id = 0;      // flow events only
     const char* category = "";
     std::string name;
+    std::string args;        // pre-rendered JSON body, no braces
   };
 
   bool push(Event e);
@@ -108,6 +138,7 @@ class Tracer {
   std::vector<std::string> track_names_;  // index = core id
   std::size_t max_events_ = 1u << 20;
   std::uint64_t dropped_ = 0;
+  SpanId last_span_ = 0;
 };
 
 // RAII span: records a complete event covering the scope's simulated-cycle
@@ -151,11 +182,32 @@ class TraceScope {
     if (::mv::Tracer::instance().enabled())                       \
       ::mv::Tracer::instance().instant(core, category, name);     \
   } while (0)
+// Flow point (span arrow anchor) at an explicit timestamp.
+#define MV_TRACE_FLOW(phase, core, span, ts)                      \
+  do {                                                            \
+    if (::mv::Tracer::instance().enabled())                       \
+      ::mv::Tracer::instance().flow(phase, core, span, ts);       \
+  } while (0)
+// Instant event carrying a pre-rendered JSON args body (span annotations:
+// retries, degradations, injected faults, ring occupancy). The args
+// expression is not evaluated when tracing is disabled or compiled out.
+#define MV_TRACE_ANNOTATE(core, category, name, args_json)        \
+  do {                                                            \
+    if (::mv::Tracer::instance().enabled())                       \
+      ::mv::Tracer::instance().instant(core, category, name,      \
+                                       args_json);                \
+  } while (0)
 #else
 #define MV_TRACE_SCOPE(core, category, name) \
   do {                                       \
   } while (0)
 #define MV_TRACE_INSTANT(core, category, name) \
   do {                                         \
+  } while (0)
+#define MV_TRACE_FLOW(phase, core, span, ts) \
+  do {                                       \
+  } while (0)
+#define MV_TRACE_ANNOTATE(core, category, name, args_json) \
+  do {                                                     \
   } while (0)
 #endif

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/flightrec.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 #include "support/trace.hpp"
@@ -40,6 +41,18 @@ Hvm::Hvm(hw::Machine& machine, HvmConfig config)
         strfmt("hvm/hypercall/%s", hypercall_name(static_cast<Hypercall>(i))));
   }
   injection_metric_ = &reg.counter("hvm/injections");
+
+  // Role-named Perfetto tracks for the partitioned cores; cores outside the
+  // partition keep the machine's socket-based defaults. The synthetic VMM
+  // track hosts the doorbell hops of every request's span chain.
+  Tracer& tracer = Tracer::instance();
+  for (const unsigned core : config_.hrt_cores) {
+    tracer.set_track_name(core, strfmt("hrt/core-%u", core));
+  }
+  for (const unsigned core : config_.ros_cores) {
+    tracer.set_track_name(core, strfmt("ros/core-%u", core));
+  }
+  tracer.set_track_name(Tracer::kVmmTrack, "vmm");
 }
 
 void Hvm::count_hypercall(Hypercall nr) {
@@ -233,6 +246,8 @@ Result<std::uint64_t> Hvm::hypercall(unsigned vcore, Hypercall nr,
       // the ring holds — that is the entire point of batching.
       core.charge(hw::costs().event_inject);
       count_injection(config_.ros_cores.front(), "inject:doorbell");
+      MV_FR_EVENT(config_.ros_cores.front(), FrKind::kDoorbell, 0, a0, a1,
+                  "vmm");
       if (fault_plan_ != nullptr &&
           fault_plan_->should_inject(FaultClass::kDropDoorbell,
                                      core.cycles())) {

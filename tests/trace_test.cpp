@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
+#include "hw/machine.hpp"
 #include "multiverse/system.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
@@ -52,6 +54,34 @@ TEST(MetricsTest, HistogramDecimationIsBoundedAndDeterministic) {
   const double p50 = a.percentile(50);
   const double mid = static_cast<double>(a.count()) / 2;
   EXPECT_NEAR(p50, mid, mid * 0.05);
+}
+
+TEST(MetricsTest, HistogramPercentileDeterminismAtDecimationBoundary) {
+  // The decimation edge: one sample under the cap (no decimation), exactly
+  // at the cap, and one over (first stride doubling). Percentiles must be
+  // identical across two fills at every boundary, and still sane once the
+  // reservoir holds every 2nd sample.
+  const std::size_t cap = metrics::Histogram::kReservoirCap;
+  for (const std::size_t n : {cap - 1, cap, cap + 1}) {
+    auto fill = [n] {
+      metrics::Histogram h;
+      for (std::size_t i = 0; i < n; ++i) h.record(static_cast<double>(i));
+      return h;
+    };
+    const metrics::Histogram a = fill();
+    const metrics::Histogram b = fill();
+    EXPECT_EQ(a.count(), n);
+    EXPECT_EQ(a.stride(), n > cap ? 2u : 1u) << "n=" << n;
+    for (const double p : {0.0, 50.0, 90.0, 99.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p))
+          << "n=" << n << " p=" << p;
+    }
+    // 2:1 decimation keeps the sample representative, not just deterministic.
+    const double mid = static_cast<double>(n) / 2;
+    EXPECT_NEAR(a.percentile(50), mid, mid * 0.05 + 1.0) << "n=" << n;
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), static_cast<double>(n - 1));
+  }
 }
 
 TEST(MetricsTest, RegistryResolvesAndResets) {
@@ -187,6 +217,31 @@ TEST_F(TracerTest, JsonIsStructurallyValidAndEscaped) {
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"clock_domain\":\"simulated-cycles\""),
             std::string::npos);
+}
+
+TEST(TracerClockBindingTest, LaterBindWinsAndOldOwnerCannotOrphan) {
+  // Two machines alive at once: each binds the tracer clock at construction
+  // with itself as the owner token. The later bind must win, and destroying
+  // the *older* machine must not orphan the newer machine's clock (its
+  // clear_clock carries a stale token and must be a no-op).
+  Tracer& t = Tracer::instance();
+  auto a = std::make_unique<hw::Machine>();
+  auto b = std::make_unique<hw::Machine>();
+  ASSERT_TRUE(t.has_clock());
+  b->core(0).charge(123);
+  EXPECT_EQ(t.now(0), b->core(0).cycles());
+  a->core(0).charge(999);  // the loser's clock is invisible to the tracer
+  EXPECT_EQ(t.now(0), b->core(0).cycles());
+
+  a.reset();
+  ASSERT_TRUE(t.has_clock()) << "destroying the older machine orphaned the "
+                                "newer machine's clock binding";
+  b->core(0).charge(77);
+  EXPECT_EQ(t.now(0), b->core(0).cycles());
+
+  b.reset();
+  EXPECT_FALSE(t.has_clock());
+  EXPECT_EQ(t.now(0), 0u);
 }
 
 // --- full stack ----------------------------------------------------------------
