@@ -60,8 +60,10 @@ int workload(ros::SysIface& sys, std::uint64_t* checksum) {
   return clean ? 0 : 1;
 }
 
-CellResult run_cell(const std::string& fault_spec, bool sync_channel) {
+CellResult run_cell(const std::string& fault_spec, bool sync_channel,
+                    const std::string& extra_config = {}) {
   SystemConfig cfg;
+  cfg.extra_override_config = extra_config;
   if (sync_channel) cfg.extra_override_config += "option sync_channel on\n";
   if (!fault_spec.empty()) {
     cfg.extra_override_config +=
@@ -108,14 +110,19 @@ int main() {
     // awake; the replayed slot was never reused), so for those classes only
     // recovered <= injected holds — correctness is carried by must_match.
     bool recovery_per_injection;
+    // Extra config the class needs to bite (override_fail only fires on
+    // active overrides, so its cells run with the governor promoting).
+    const char* extra;
   };
   const ClassSpec kClasses[] = {
-      {"drop_doorbell", false, true, false},
-      {"dup_doorbell", false, true, false},
-      {"corrupt_status", false, true, true},
-      {"drop_ipi", false, true, true},
-      {"delay_wakeup", true, true, true},
-      {"partner_death", false, false, false},
+      {"drop_doorbell", false, true, false, ""},
+      {"dup_doorbell", false, true, false, ""},
+      {"corrupt_status", false, true, true, ""},
+      {"drop_ipi", false, true, true, ""},
+      {"delay_wakeup", true, true, true, ""},
+      {"partner_death", false, false, false, ""},
+      {"override_fail", false, true, true,
+       "option hybridize on,promote_after=4,threshold=1000\n"},
   };
 
   begin_measurement();
@@ -137,7 +144,7 @@ int main() {
       const CellResult cell =
           run_cell(strfmt("%s=0.3,seed=%llu", cls.key,
                           static_cast<unsigned long long>(seed)),
-                   cls.sync);
+                   cls.sync, cls.extra);
       end_measurement(strfmt("%s/seed%llu", cls.key,
                              static_cast<unsigned long long>(seed))
                           .c_str());
@@ -172,7 +179,7 @@ int main() {
   // same-length comment to isolate the plan's effect from the file size's.
   const std::string fault_line =
       "option fault drop_doorbell=0,dup_doorbell=0,delay_wakeup=0,"
-      "corrupt_status=0,drop_ipi=0,partner_death=0,seed=1\n";
+      "corrupt_status=0,drop_ipi=0,partner_death=0,override_fail=0,seed=1\n";
   SystemConfig plain_cfg;
   plain_cfg.extra_override_config =
       "#" + std::string(fault_line.size() - 2, 'x') + "\n";

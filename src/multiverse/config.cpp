@@ -1,9 +1,64 @@
 #include "multiverse/config.hpp"
 
+#include <stdexcept>
+
 #include "support/faultplan.hpp"
 #include "support/strings.hpp"
 
 namespace mv::multiverse {
+
+namespace {
+
+// `option hybridize on,promote_after=8,demote_on_fail=2,threshold=4000,
+// window=200000000` — leading on/off, then key=value knobs in any order.
+Result<HybridizeOptions> parse_hybridize_spec(std::string_view text) {
+  HybridizeOptions opts;
+  bool saw_mode = false;
+  for (const std::string& raw : split(text, ',')) {
+    const std::string_view entry = trim(raw);
+    if (entry.empty()) continue;
+    if (entry == "on" || entry == "off") {
+      opts.enabled = entry == "on";
+      saw_mode = true;
+      continue;
+    }
+    const auto parts = split(entry, '=');
+    if (parts.size() != 2) {
+      return err(Err::kParse,
+                 strfmt("hybridize spec entry '%.*s' wants key=value",
+                        static_cast<int>(entry.size()), entry.data()));
+    }
+    const std::string& key = parts[0];
+    const std::string& value = parts[1];
+    try {
+      if (key == "promote_after") {
+        opts.promote_after = std::stoull(value);
+        if (opts.promote_after == 0) throw std::invalid_argument("zero");
+      } else if (key == "demote_on_fail") {
+        opts.demote_on_fail = std::stoi(value);
+        if (opts.demote_on_fail < 1) throw std::invalid_argument("min 1");
+      } else if (key == "threshold") {
+        opts.threshold_cycles = std::stod(value);
+        if (opts.threshold_cycles < 0.0) throw std::invalid_argument("neg");
+      } else if (key == "window") {
+        opts.window_cycles = std::stoull(value);
+        if (opts.window_cycles == 0) throw std::invalid_argument("zero");
+      } else {
+        return err(Err::kParse,
+                   strfmt("hybridize spec: unknown key '%s'", key.c_str()));
+      }
+    } catch (...) {
+      return err(Err::kParse,
+                 strfmt("hybridize spec: bad value for '%s'", key.c_str()));
+    }
+  }
+  if (!saw_mode) {
+    return err(Err::kParse, "hybridize spec wants leading on or off");
+  }
+  return opts;
+}
+
+}  // namespace
 
 Result<OverrideConfig> parse_override_config(const std::string& text) {
   OverrideConfig config;
@@ -116,6 +171,14 @@ Result<OverrideConfig> parse_override_config(const std::string& text) {
                             plan.status().detail().c_str()));
         }
         config.options.fault_spec = tokens[2];
+      } else if (tokens[1] == "hybridize") {
+        auto opts = parse_hybridize_spec(tokens[2]);
+        if (!opts.is_ok()) {
+          return err(Err::kParse,
+                     strfmt("line %d: %s", lineno,
+                            opts.status().detail().c_str()));
+        }
+        config.options.hybridize = opts.value();
       } else {
         return err(Err::kParse,
                    strfmt("line %d: unknown option '%s'", lineno,

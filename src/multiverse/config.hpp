@@ -32,6 +32,27 @@ enum class HrtPlacement {
   kLeastLoaded,  // core with the fewest live top-level HRT threads
 };
 
+// Adaptive hybridization: the governor watches per-family forwarded-syscall
+// cost online and promotes hot families to kernel-mode overrides at runtime
+// (`option hybridize on,promote_after=N,demote_on_fail=M,...`). Spec is a
+// single comma-separated token because `option` takes exactly two operands.
+struct HybridizeOptions {
+  bool enabled = false;
+  // Promote a family once it has made this many forwarded calls inside one
+  // observation window with an EWMA cost above the threshold.
+  std::uint64_t promote_after = 64;
+  // Forwarded cycles/call the EWMA must exceed before promotion. The default
+  // sits far below the ~25K-cycle forwarded round trip and far above every
+  // kernel-mode variant, so any sustained forwarded traffic qualifies.
+  double threshold_cycles = 4000.0;
+  // Consecutive override failures after which the family is pinned to
+  // forwarding for the rest of the run (no more promotion attempts).
+  int demote_on_fail = 3;
+  // Virtual-time observation window; call counts reset when it elapses so a
+  // long-idle family must re-earn promotion.
+  std::uint64_t window_cycles = 200'000'000;
+};
+
 struct ToolchainOptions {
   bool merge_address_space = true;
   bool symbol_cache = false;
@@ -53,6 +74,8 @@ struct ToolchainOptions {
   // Deterministic fault-injection spec (see support/faultplan.hpp); empty
   // means no FaultPlan is built. Validated at parse time.
   std::string fault_spec;
+  // Adaptive hybridization governor knobs (off by default).
+  HybridizeOptions hybridize;
 };
 
 struct OverrideConfig {

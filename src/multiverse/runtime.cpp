@@ -32,27 +32,47 @@ std::uint64_t HrtCtx::scratch_base() {
 
 Result<std::uint64_t> HrtCtx::syscall(ros::SysNr nr,
                                       std::array<std::uint64_t, 6> args) {
-  // AeroKernel overrides: if the developer overrode this legacy function,
-  // the wrapper resolves the AeroKernel symbol (charged lookup; cacheable)
-  // and invokes the kernel-mode variant directly — no forwarding.
-  const OverrideSpec* spec = nullptr;
-  switch (nr) {
-    case ros::SysNr::kMmap: spec = rt_->config().find("mmap"); break;
-    case ros::SysNr::kMunmap: spec = rt_->config().find("munmap"); break;
-    case ros::SysNr::kMprotect: spec = rt_->config().find("mprotect"); break;
-    default: break;
-  }
+  // AeroKernel overrides: if the family is overridden — statically by the
+  // developer's config, or promoted at runtime by the hybridization governor
+  // — the wrapper invokes the kernel-mode variant directly, no forwarding.
+  // The first overridden call resolves the AeroKernel symbol (charged
+  // lookup); the resolved vaddr is cached in the table entry, so steady-state
+  // calls charge no lookup at all.
   naut::Nautilus& naut = rt_->naut();
-  if (spec != nullptr) {
-    naut::NautThread* self = naut.current_thread();
-    const unsigned core = self != nullptr ? self->core : naut.boot_core();
-    MV_RETURN_IF_ERROR(
-        naut.symbols()
-            .resolve(rt_->hvm().machine().core(core), spec->kernel_symbol)
-            .status());
-    return rt_->kernel_mode_memop(nr, args, core);
+  HybridizationGovernor* gov = rt_->governor();
+  naut::NautThread* self = naut.current_thread();
+  const unsigned core_id = self != nullptr ? self->core : naut.boot_core();
+  hw::Core& core = rt_->hvm().machine().core(core_id);
+  if (OverrideEntry* entry = rt_->find_override(nr); entry != nullptr) {
+    // Injected override failure: demote the family and fall through to the
+    // forwarded path below — the call completes either way.
+    const bool injected =
+        gov != nullptr && gov->inject_override_failure(nr, core.cycles());
+    if (injected) {
+      gov->on_override_failure(nr, core_id, /*injected=*/true);
+    } else {
+      MV_RETURN_IF_ERROR(rt_->warm_override(*entry, core_id));
+      const std::uint64_t begin = core.cycles();
+      auto result = rt_->kernel_mode_memop(nr, args, core_id);
+      const Err code = result.code();
+      if (code != Err::kUnsupported && code != Err::kState) {
+        // Success — or a genuine syscall error (kInval etc.) forwarding
+        // would reproduce; either way the override executed.
+        if (gov != nullptr) gov->note_override(nr, core.cycles() - begin);
+        return result;
+      }
+      // Infrastructure failure. Without a governor this is final (the
+      // legacy static-override contract); with one, demote and retry
+      // forwarded.
+      if (gov == nullptr) return result;
+      gov->on_override_failure(nr, core_id, /*injected=*/false);
+    }
   }
+  const bool sampled =
+      gov != nullptr && sys_family(nr) != SysFamily::kCount_;
+  const std::uint64_t begin = sampled ? core.cycles() : 0;
   auto result = naut.syscall_stub(nr, args);
+  if (sampled) gov->note_forwarded(nr, core, core.cycles() - begin);
   if (nr == ros::SysNr::kExitGroup && result.is_ok()) {
     group_->finished = true;
     rt_->release_core_load(*group_);
@@ -65,11 +85,26 @@ std::vector<Result<std::uint64_t>> HrtCtx::syscall_batch(
   std::vector<Result<std::uint64_t>> out(reqs.size(),
                                          err(Err::kAgain, "batch pending"));
   naut::Nautilus& naut = rt_->naut();
+  HybridizationGovernor* gov = rt_->governor();
+  naut::NautThread* self = naut.current_thread();
+  const unsigned core_id = self != nullptr ? self->core : naut.boot_core();
+  hw::Core& core = rt_->hvm().machine().core(core_id);
   std::vector<ros::SysReq> run;
   std::vector<std::size_t> run_at;
   const auto flush = [&] {
     if (run.empty()) return;
+    const std::uint64_t begin = gov != nullptr ? core.cycles() : 0;
     auto results = naut.syscall_stub_batch(run);
+    if (gov != nullptr) {
+      // Attribute the batch round trip evenly across its calls so promotable
+      // families see their amortized forwarded cost.
+      const std::uint64_t per_call = (core.cycles() - begin) / run.size();
+      for (const ros::SysReq& req : run) {
+        if (sys_family(req.nr) != SysFamily::kCount_) {
+          gov->note_forwarded(req.nr, core, per_call);
+        }
+      }
+    }
     for (std::size_t i = 0; i < results.size(); ++i) {
       out[run_at[i]] = std::move(results[i]);
     }
@@ -77,14 +112,9 @@ std::vector<Result<std::uint64_t>> HrtCtx::syscall_batch(
     run_at.clear();
   };
   for (std::size_t i = 0; i < reqs.size(); ++i) {
-    const OverrideSpec* spec = nullptr;
-    switch (reqs[i].nr) {
-      case ros::SysNr::kMmap: spec = rt_->config().find("mmap"); break;
-      case ros::SysNr::kMunmap: spec = rt_->config().find("munmap"); break;
-      case ros::SysNr::kMprotect: spec = rt_->config().find("mprotect"); break;
-      default: break;
-    }
-    if (spec != nullptr || reqs[i].nr == ros::SysNr::kExitGroup) {
+    // Same dispatch decision as the single-call path, via the same table.
+    if (rt_->find_override(reqs[i].nr) != nullptr ||
+        reqs[i].nr == ros::SysNr::kExitGroup) {
       // Overridden memory calls execute kernel-mode (never forwarded) and
       // exits must keep their group-finished side effect; flushing the
       // accumulated run first preserves submission order.
@@ -282,6 +312,23 @@ Status MultiverseRuntime::startup(ros::Thread& main_thread,
   MV_RETURN_IF_ERROR(
       hvm_->hypercall(main_thread.core, vmm::Hypercall::kBootHrt).status());
   naut_->symbols().set_cache_enabled(config_.options.symbol_cache);
+
+  // Seed the enum-indexed override dispatch table from the parsed config:
+  // statically-overridden families start active (symbol warmed lazily on
+  // first use); the rest start forwarding. With `option hybridize on` the
+  // governor owns the table from here on and may flip entries at runtime.
+  for (std::size_t i = 0; i < kSysFamilyCount; ++i) {
+    const auto family = static_cast<SysFamily>(i);
+    OverrideEntry& entry = override_table_.at(family);
+    entry.spec = config_.find(family_name(family));
+    entry.active = entry.spec != nullptr;
+    entry.kernel_vaddr = 0;
+  }
+  if (config_.options.hybridize.enabled) {
+    governor_ = std::make_unique<HybridizationGovernor>(
+        config_.options.hybridize, override_table_, *naut_, hvm_->machine(),
+        fault_plan_.get());
+  }
 
   // 3. Register the ROS signal handler + stack with the HVM (exit signaling
   //    bypasses the ROS kernel entirely).
@@ -721,6 +768,19 @@ Status MultiverseRuntime::hrt_thread_join(ros::Thread& caller, int group_id) {
   return linux_->join_thread(caller, group->partner->tid);
 }
 
+Status MultiverseRuntime::warm_override(OverrideEntry& entry, unsigned core) {
+  // First overridden call: resolve the AeroKernel symbol (charged lookup).
+  // The vaddr is cached in the table entry, so steady-state override calls
+  // never touch the symbol table again — the "cacheable" half of the
+  // contract the old per-call resolve() broke.
+  if (entry.kernel_vaddr != 0) return Status::ok();
+  MV_ASSIGN_OR_RETURN(
+      entry.kernel_vaddr,
+      naut_->symbols().resolve(hvm_->machine().core(core),
+                               entry.kernel_symbol()));
+  return Status::ok();
+}
+
 Result<std::uint64_t> MultiverseRuntime::kernel_mode_memop(
     ros::SysNr nr, std::array<std::uint64_t, 6> args, unsigned hrt_core) {
   // Kernel-mode page-table manipulation: no ring crossing, no forwarding, no
@@ -744,6 +804,11 @@ Result<std::uint64_t> MultiverseRuntime::kernel_mode_memop(
       MV_RETURN_IF_ERROR(
           as.mprotect(hrt_core, args[0], args[1], static_cast<int>(args[2])));
       return std::uint64_t{0};
+    case ros::SysNr::kBrk:
+      // Heap pointer move: a VMA edit plus possible shrink unmaps, all
+      // in-kernel — no ring crossing, like the other memops.
+      core.charge(140);
+      return as.brk(args[0], static_cast<int>(hrt_core));
     default:
       return err(Err::kUnsupported, "no kernel-mode variant");
   }

@@ -17,6 +17,7 @@
 
 #include "aerokernel/nautilus.hpp"
 #include "multiverse/event_channel.hpp"
+#include "multiverse/hybridize.hpp"
 #include "multiverse/toolchain.hpp"
 #include "ros/linux.hpp"
 #include "support/faultplan.hpp"
@@ -172,6 +173,20 @@ class MultiverseRuntime {
   // The deterministic fault plan built from `option fault` (null when the
   // config carries none).
   [[nodiscard]] FaultPlan* fault_plan() noexcept { return fault_plan_.get(); }
+  // The adaptive-hybridization governor (null unless `option hybridize on`).
+  [[nodiscard]] HybridizationGovernor* governor() noexcept {
+    return governor_.get();
+  }
+  // Single source of truth for override dispatch: the active entry for `nr`,
+  // or nullptr when the call must forward. Consulted by both HrtCtx::syscall
+  // and syscall_batch, so a family can never drift between the two paths.
+  [[nodiscard]] OverrideEntry* find_override(ros::SysNr nr) noexcept {
+    OverrideEntry* entry = override_table_.entry(nr);
+    return entry != nullptr && entry->active ? entry : nullptr;
+  }
+  [[nodiscard]] const OverrideTable& override_table() const noexcept {
+    return override_table_;
+  }
 
   // Kernel-mode memory-op overrides (the incremental->accelerator porting
   // path of Sec 5's conclusion: mmap/mprotect "hundreds of times faster
@@ -207,6 +222,9 @@ class MultiverseRuntime {
   void release_core_load(ExecGroup& group);
   Status launch_hrt_thread(ExecGroup* group, ros::Thread& launcher,
                            ros::SysIface& lctx);
+  // Lazily resolve an override entry's kernel symbol on its first use
+  // (charged) and cache the vaddr so later calls charge no lookup.
+  Status warm_override(OverrideEntry& entry, unsigned core);
   void link_aerokernel_functions();
   void on_user_interrupt(std::uint64_t hrt_tid);
 
@@ -216,6 +234,10 @@ class MultiverseRuntime {
   naut::Nautilus* naut_;
   OverrideConfig config_;
   std::unique_ptr<FaultPlan> fault_plan_;
+  // Runtime-mutable override dispatch table, seeded from config_ at startup;
+  // the governor (when enabled) promotes/demotes entries in place.
+  OverrideTable override_table_;
+  std::unique_ptr<HybridizationGovernor> governor_;
   ros::Process* process_ = nullptr;
   bool started_ = false;
   int next_group_id_ = 1;

@@ -15,6 +15,7 @@ const char* fault_class_name(FaultClass c) noexcept {
     case FaultClass::kCorruptStatus: return "corrupt_status";
     case FaultClass::kDropShootdownIpi: return "drop_ipi";
     case FaultClass::kPartnerDeath: return "partner_death";
+    case FaultClass::kOverrideFail: return "override_fail";
     case FaultClass::kCount_: break;
   }
   return "?";
@@ -108,6 +109,7 @@ bool FaultPlan::enabled() const noexcept {
 bool FaultPlan::channel_armed() const noexcept {
   for (std::size_t i = 0; i < kClassCount; ++i) {
     if (static_cast<FaultClass>(i) == FaultClass::kDropShootdownIpi) continue;
+    if (static_cast<FaultClass>(i) == FaultClass::kOverrideFail) continue;
     if (spec_.probability[i] > 0.0) return true;
   }
   return false;

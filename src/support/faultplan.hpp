@@ -26,6 +26,7 @@ enum class FaultClass : int {
   kCorruptStatus,      // ring slot completion status word corrupted
   kDropShootdownIpi,   // TLB shootdown IPI lost (timeout + resend)
   kPartnerDeath,       // ROS partner thread dies mid-service
+  kOverrideFail,       // kernel-mode override execution fails (governor demotes)
   kCount_,
 };
 
@@ -48,7 +49,8 @@ class FaultPlan {
 
   // Parse a comma-separated `key=value` spec. Keys: seed, window=lo:hi, and
   // the per-class probabilities drop_doorbell, dup_doorbell, delay_wakeup,
-  // corrupt_status, drop_ipi, partner_death. Unknown keys are kParse errors.
+  // corrupt_status, drop_ipi, partner_death, override_fail. Unknown keys are
+  // kParse errors.
   static Result<FaultPlan> parse(std::string_view text);
 
   [[nodiscard]] const Spec& spec() const noexcept { return spec_; }
@@ -58,7 +60,8 @@ class FaultPlan {
   // Any class armed at all.
   [[nodiscard]] bool enabled() const noexcept;
   // Any class the event channel must harden against (everything except the
-  // IPI class, which the machine absorbs on its own).
+  // IPI class, which the machine absorbs on its own, and the override class,
+  // which the hybridization governor absorbs by demoting to forwarding).
   [[nodiscard]] bool channel_armed() const noexcept;
 
   // Decide whether to inject `c` at simulated cycle `now`. Draws from the

@@ -24,6 +24,8 @@ const char* fr_kind_name(FrKind k) noexcept {
     case FrKind::kPartnerDeath: return "partner_death";
     case FrKind::kWatchdogStall: return "watchdog_stall";
     case FrKind::kExit: return "exit";
+    case FrKind::kHybridPromote: return "hybrid_promote";
+    case FrKind::kHybridDemote: return "hybrid_demote";
   }
   return "?";
 }

@@ -53,6 +53,8 @@ enum class FrKind : std::uint8_t {
   kPartnerDeath,    // partner thread died mid-service (a=channel id)
   kWatchdogStall,   // in-flight request exceeded the watchdog bound (a=seq)
   kExit,            // channel exit signal (a=hrt tid)
+  kHybridPromote,   // governor promoted a syscall family to override (a=family)
+  kHybridDemote,    // governor demoted a family back to forwarding (a=family)
 };
 
 const char* fr_kind_name(FrKind k) noexcept;

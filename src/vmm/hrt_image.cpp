@@ -150,9 +150,10 @@ HrtImage HrtImageBuilder::default_nautilus_image() {
       "nk_thread_create", "nk_thread_join",   "nk_thread_exit",
       "nk_thread_fork",   "nk_event_wait",    "nk_event_signal",
       "nk_mmap",          "nk_munmap",        "nk_mprotect",
-      "nk_sigaction",     "nk_gettimeofday",  "nk_getrusage",
-      "nk_poll_stub",     "aerokernel_func",  "nk_malloc",
-      "nk_free",          "nk_rand",          "nk_counter_read",
+      "nk_brk",           "nk_sigaction",     "nk_gettimeofday",
+      "nk_getrusage",     "nk_poll_stub",     "aerokernel_func",
+      "nk_malloc",        "nk_free",          "nk_rand",
+      "nk_counter_read",
   };
   std::uint64_t off = 0x100;
   for (const char* name : kSymbols) {

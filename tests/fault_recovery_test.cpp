@@ -471,7 +471,7 @@ TEST(FaultScheduleTest, ZeroProbabilityPlanIsBitwiseInert) {
   const std::string fault_line =
       "option fault "
       "drop_doorbell=0,dup_doorbell=0,delay_wakeup=0,corrupt_status=0,"
-      "drop_ipi=0,partner_death=0,seed=1\n";
+      "drop_ipi=0,partner_death=0,override_fail=0,seed=1\n";
   const std::string pad_line =
       "#" + std::string(fault_line.size() - 2, 'x') + "\n";
   const auto plain = measure(pad_line);
