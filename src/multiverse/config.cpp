@@ -161,6 +161,21 @@ Result<OverrideConfig> parse_override_config(const std::string& text) {
                             lineno));
         }
         config.options.watchdog = mult;
+      } else if (tokens[1] == "spin_cycles") {
+        long long cycles = -1;
+        try {
+          cycles = std::stoll(tokens[2]);
+        } catch (...) {
+          cycles = -1;
+        }
+        if (tokens[2] == "off") cycles = 0;
+        if (cycles < 0) {
+          return err(Err::kParse,
+                     strfmt("line %d: spin_cycles wants a non-negative cycle "
+                            "count (0 or 'off' disables)",
+                            lineno));
+        }
+        config.options.spin_cycles = cycles;
       } else if (tokens[1] == "fault") {
         // Validate eagerly so a typo'd fault spec fails at parse time, not
         // when the runtime builds the plan.

@@ -71,6 +71,13 @@ struct ToolchainOptions {
   // multiple of the channel's modeled transport round trip (0 = off). Purely
   // observational — flagging charges no simulated cycles.
   int watchdog = 32;
+  // Exitless data plane (shared-daemon mode only): after draining its ready
+  // deque, a service worker polls its shard's submission rings for this many
+  // cycles (charged on the worker's ROS core) before re-arming the doorbell
+  // and blocking. While a worker polls a ring, guest flushes skip the
+  // kRaiseRos doorbell hypercall entirely. 0 (default) keeps the pure
+  // interrupt-driven protocol.
+  long long spin_cycles = 0;
   // Deterministic fault-injection spec (see support/faultplan.hpp); empty
   // means no FaultPlan is built. Validated at parse time.
   std::string fault_spec;

@@ -36,6 +36,8 @@ EventChannel::EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
   contended_metric_ =
       &reg.counter(strfmt("channel/%d/contended_acquires", id_));
   doorbell_metric_ = &reg.counter(strfmt("channel/%d/doorbells", id_));
+  suppressed_metric_ =
+      &reg.counter(strfmt("channel/%d/doorbells_suppressed", id_));
   retry_metric_ = &reg.counter(strfmt("channel/%d/retries", id_));
   degradation_metric_ = &reg.counter(strfmt("channel/%d/degradations", id_));
   watchdog_stall_metric_ = &reg.counter("mv/watchdog/stalls");
@@ -75,6 +77,12 @@ void EventChannel::page_write(std::uint64_t off, std::uint64_t value) {
 
 Cycles EventChannel::requester_cycles() const {
   return hvm_->machine().core(hrt_core_).cycles();
+}
+
+void EventChannel::set_consumer_polling(bool on, Cycles spin_window) {
+  if (page_ == 0) return;
+  page_write(Ring::kOffConsumerPoll, on ? 1 : 0);
+  spin_window_hint_ = on ? spin_window : 0;
 }
 
 Status EventChannel::enable_sync_mode(std::uint64_t sync_vaddr) {
@@ -176,6 +184,9 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
   meta.retries = 0;
   meta.degraded = false;
   meta.stall_flagged = false;
+  // Non-zero only while a consumer is polling this ring: the watchdog grants
+  // the poll window as slack for this occupancy (exitless pickup).
+  meta.spin_slack = spin_window_hint_;
 
   const std::uint64_t slot = slot_base(seq);
   page_write(slot + Ring::kSlotKind, kind);
@@ -207,6 +218,21 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
   }
 
   hw::Core& core = hvm_->machine().core(hrt_core_);
+  if (!sync_mode_ && page_read(Ring::kOffConsumerPoll) != 0) {
+    // Exitless flush: the shard's service worker is polling this ring, so
+    // the staged stores are all the transport there is — no doorbell
+    // hypercall, no VMM traversal, no exit. Counted separately from
+    // doorbells_ (which tallies hypercalls actually taken). wake_partner()
+    // is host-side scheduling, modeling the polling consumer observing the
+    // tail move.
+    core.charge(hw::costs().ring_submit());
+    ++doorbells_suppressed_;
+    MV_COUNTER_INC(suppressed_metric_, 1);
+    MV_FR_EVENT(hrt_core_, FrKind::kDoorbellSuppress, meta.span, seq, 0,
+                eager_ ? "eager" : "batched");
+    wake_partner();
+    return;
+  }
   if (eager_) {
     // Compatibility mode: the requester observes the full transport latency
     // per request, exactly as the single-slot protocol charged it; the
@@ -805,7 +831,14 @@ void EventChannel::check_watchdog(std::uint64_t seq) {
   SlotMeta& meta = slots_[seq % depth_];
   if (meta.stall_flagged || meta.requester == kNoTask) return;
   const Cycles age = requester_cycles() - meta.begin;
-  if (age <= static_cast<Cycles>(watchdog_mult_) * transport_cost()) return;
+  // A polling consumer legitimately sits on the request for up to its spin
+  // window before serving it; grant that window (the live hint or the one
+  // stamped at submit, whichever is larger) as slack so exitless pickup
+  // cannot trip a false stall.
+  const Cycles spin_slack = std::max(spin_window_hint_, meta.spin_slack);
+  const Cycles bound =
+      static_cast<Cycles>(watchdog_mult_) * transport_cost() + spin_slack;
+  if (age <= bound) return;
   // Flag each slot occupancy at most once; the snapshot carries the stuck
   // slot's full state. Everything here is host-side: zero cycles charged.
   meta.stall_flagged = true;
@@ -828,10 +861,13 @@ std::string EventChannel::debug_state() const {
   const std::uint64_t head = page_read(Ring::kOffSubHead);
   const std::uint64_t tail = page_read(Ring::kOffSubTail);
   std::string out = strfmt(
-      "head=%llu tail=%llu depth=%u doorbell=%llu sync=%d partner_dead=%d",
+      "head=%llu tail=%llu depth=%u doorbell=%llu poll=%llu suppressed=%llu "
+      "sync=%d partner_dead=%d",
       static_cast<unsigned long long>(head),
       static_cast<unsigned long long>(tail), depth_,
       static_cast<unsigned long long>(page_read(Ring::kOffDoorbell)),
+      static_cast<unsigned long long>(page_read(Ring::kOffConsumerPoll)),
+      static_cast<unsigned long long>(doorbells_suppressed_),
       sync_mode_ ? 1 : 0, partner_died_ ? 1 : 0);
   const Cycles now = requester_cycles();
   for (std::uint64_t seq = head; seq != tail; ++seq) {

@@ -54,6 +54,13 @@ class EventChannel final : public naut::LegacyChannel {
     static constexpr std::uint64_t kOffSubTail = 0x08;   // next seq to claim
     static constexpr std::uint64_t kOffDoorbell = 0x10;  // coalescing flag
     static constexpr std::uint64_t kOffDepth = 0x18;     // slot count
+    // Exitless-mode handshake word: non-zero while the ROS-side consumer is
+    // actively polling this ring (a service worker in its spin window). A
+    // guest flush that reads it non-zero skips the kRaiseRos doorbell
+    // hypercall — the submission is picked up from shared memory. The
+    // consumer must clear it *before* its final ring re-check on the way to
+    // blocking, or a flush racing the clear is silently lost.
+    static constexpr std::uint64_t kOffConsumerPoll = 0x20;
     // Slot array: slot(seq) = kSlot0 + (seq % depth) * kSlotStride.
     static constexpr std::uint64_t kSlot0 = 0x40;
     static constexpr std::uint64_t kSlotStride = 0x80;
@@ -142,6 +149,17 @@ class EventChannel final : public naut::LegacyChannel {
   // with kIo until the group tears down.
   [[nodiscard]] bool partner_dead() const noexcept { return partner_died_; }
 
+  // Exitless mode (spin-then-doorbell service workers). The consumer toggles
+  // the ring's poll word around its spin window; `spin_window` is the bounded
+  // polling budget, granted to the watchdog as extra slack so a request
+  // legitimately waiting on a poll pickup (no doorbell was rung for it) is
+  // not flagged as stalled. Toggling is host-side bookkeeping: the caller
+  // charges the store on its own core.
+  void set_consumer_polling(bool on, Cycles spin_window = 0);
+  [[nodiscard]] bool consumer_polling() const {
+    return page_ != 0 && page_read(Ring::kOffConsumerPoll) != 0;
+  }
+
   // --- HRT side (naut::LegacyChannel) ----------------------------------------
   Result<std::uint64_t> forward_syscall(
       ros::SysNr nr, std::array<std::uint64_t, 6> args) override;
@@ -188,8 +206,15 @@ class EventChannel final : public naut::LegacyChannel {
     return contended_acquires_;
   }
   // Doorbells raised on the async transport (eager: one per request;
-  // batched: one kRaiseRos per flush, so < 1 per request under load).
+  // batched: one kRaiseRos per flush, so < 1 per request under load). On the
+  // batched transport every increment is one kRaiseRos hypercall actually
+  // issued; flushes suppressed by a polling consumer are counted separately
+  // below and never inflate this.
   [[nodiscard]] std::uint64_t doorbells() const noexcept { return doorbells_; }
+  // Flushes that skipped the doorbell because the consumer was polling.
+  [[nodiscard]] std::uint64_t doorbells_suppressed() const noexcept {
+    return doorbells_suppressed_;
+  }
   // Deadline expiries that re-drove the transport (fault mode only).
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
   // Async->sync transport degradations after consecutive doorbell losses.
@@ -212,6 +237,10 @@ class EventChannel final : public naut::LegacyChannel {
     unsigned retries = 0;         // transport re-drives for this request
     bool degraded = false;        // completed after async->sync degradation
     bool stall_flagged = false;   // watchdog fired for this occupancy
+    // Extra watchdog slack for this occupancy: the consumer's spin window at
+    // submit time when the flush was suppressed (exitless pickup has no
+    // doorbell latency bound, only the poll window).
+    Cycles spin_slack = 0;
   };
 
   std::uint64_t page_read(std::uint64_t off) const;
@@ -284,6 +313,10 @@ class EventChannel final : public naut::LegacyChannel {
   std::uint64_t protocol_errors_ = 0;
   std::uint64_t contended_acquires_ = 0;
   std::uint64_t doorbells_ = 0;
+  std::uint64_t doorbells_suppressed_ = 0;
+  // The polling consumer's spin budget while kOffConsumerPoll is set
+  // (watchdog slack); 0 whenever no consumer is polling.
+  Cycles spin_window_hint_ = 0;
 
   // --- fault-injection & recovery state (inert unless fault_mode_) ---------
   // Host-side record of every completion the server produced, keyed by the
@@ -321,6 +354,7 @@ class EventChannel final : public naut::LegacyChannel {
   metrics::Counter* protocol_error_metric_ = nullptr;
   metrics::Counter* contended_metric_ = nullptr;
   metrics::Counter* doorbell_metric_ = nullptr;
+  metrics::Counter* suppressed_metric_ = nullptr;
   metrics::Counter* retry_metric_ = nullptr;
   metrics::Counter* degradation_metric_ = nullptr;
   metrics::Counter* watchdog_stall_metric_ = nullptr;

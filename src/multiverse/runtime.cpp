@@ -382,6 +382,8 @@ Status MultiverseRuntime::shutdown() {
     ros::Thread* self = linux_->current_thread();
     metrics::Histogram& busy_frac =
         metrics::Registry::instance().histogram("service/worker_busy_frac");
+    metrics::Histogram& spin_frac =
+        metrics::Registry::instance().histogram("service/worker_spin_frac");
     for (ServiceWorker& worker : workers_) {
       if (worker.thread == nullptr) continue;
       if (self != nullptr) {
@@ -392,8 +394,27 @@ Status MultiverseRuntime::shutdown() {
                            ? 0.0
                            : static_cast<double>(worker.busy_cycles) /
                                  static_cast<double>(lifetime));
+      spin_frac.record(lifetime == 0
+                           ? 0.0
+                           : static_cast<double>(worker.spin_cycles_spent) /
+                                 static_cast<double>(lifetime));
     }
     workers_.clear();
+  }
+  // Exit economics of the whole run: doorbell hypercalls actually taken per
+  // request served. With spin enabled and the pool saturated this tends to
+  // ~0; interrupt-driven batched traffic sits at the coalescing ratio.
+  std::uint64_t served_total = 0;
+  for (const auto& group : groups_) {
+    if (group->channel) served_total += group->channel->requests_served();
+  }
+  if (served_total > 0) {
+    const std::uint64_t raise_exits =
+        hvm_->hypercall_count(vmm::Hypercall::kRaiseRos);
+    metrics::Registry::instance()
+        .histogram("mv/channel/exits_per_req")
+        .record(static_cast<double>(raise_exits) /
+                static_cast<double>(served_total));
   }
   started_ = false;
   return Status::ok();
@@ -664,9 +685,11 @@ Status MultiverseRuntime::ensure_service_pool(ros::Thread& caller) {
           const ServiceWorker& worker = workers_[i];
           if (!out.empty()) out += "\n";
           out += strfmt("worker %zu: ready_depth=%zu groups=%zu "
-                        "busy_cycles=%llu",
+                        "busy_cycles=%llu spin_hits=%llu spin_timeouts=%llu",
                         i, worker.ready.size(), worker.groups.size(),
-                        static_cast<unsigned long long>(worker.busy_cycles));
+                        static_cast<unsigned long long>(worker.busy_cycles),
+                        static_cast<unsigned long long>(worker.spin_hits),
+                        static_cast<unsigned long long>(worker.spin_timeouts));
         }
         return out;
       });
@@ -711,8 +734,91 @@ void MultiverseRuntime::service_worker_body(std::size_t idx,
       }
       if (all_done) return;
     }
+    // Exitless mode: before parking on the doorbell, poll the shard's rings
+    // for the configured window. When polling finds work the outer loop
+    // drains it without a single doorbell exit having been taken.
+    if (config_.options.spin_cycles > 0 && service_worker_spin(worker, core)) {
+      continue;
+    }
     sched_->block();
   }
+}
+
+bool MultiverseRuntime::service_worker_spin(ServiceWorker& worker,
+                                            hw::Core& core) {
+  const Cycles window = static_cast<Cycles>(config_.options.spin_cycles);
+  const unsigned core_id = worker.thread->core;
+  // Publish "consumer polling" on every live shard ring so guest flushes
+  // skip the doorbell hypercall while we watch the rings directly. The
+  // store is one memory access per ring in the worker's cycle domain.
+  bool any_live = false;
+  for (ExecGroup* group : worker.groups) {
+    if (group->finished) continue;
+    group->channel->set_consumer_polling(true, window);
+    core.charge(hw::costs().mem_access);
+    any_live = true;
+  }
+  if (!any_live) return false;
+  MV_FR_EVENT(core_id, FrKind::kSpinEnter, 0,
+              static_cast<std::uint64_t>(worker.thread->tid), window, "");
+  const Cycles spin_begin = core.cycles();
+  bool hit = false;
+  for (;;) {
+    // One poll round: peek each live ring (a head/tail read pair, charged as
+    // one memory access) and claim anything pending straight onto the ready
+    // deque. The direct push (instead of enqueue_ready) avoids parking a
+    // self-wake token that would make the next block() spurious.
+    for (ExecGroup* group : worker.groups) {
+      if (group->finished) continue;
+      core.charge(hw::costs().mem_access);
+      if ((group->channel->has_request() || group->channel->exit_requested()) &&
+          !group->ready_enqueued) {
+        group->ready_enqueued = true;
+        worker.ready.push_back(group);
+      }
+    }
+    if (!worker.ready.empty()) {
+      hit = true;
+      break;
+    }
+    if (pool_stop_) break;
+    if (core.cycles() - spin_begin >= window) break;
+    // Let requesters (and the clock) make progress between poll rounds.
+    sched_->yield();
+  }
+  // Leaving the spin window: clear the poll word on every ring FIRST (so new
+  // flushes ring a real doorbell again), THEN re-check every ring. A flush
+  // that raced the clear — checked-empty here, published after our last poll
+  // round but before the word was cleared — suppressed its doorbell, so only
+  // this post-re-arm re-check can claim it; blocking straight away would
+  // strand it (same lost-wakeup class as the Sched::wake token fix).
+  for (ExecGroup* group : worker.groups) {
+    if (group->finished) continue;
+    group->channel->set_consumer_polling(false);
+    core.charge(hw::costs().mem_access);
+  }
+  for (ExecGroup* group : worker.groups) {
+    if (group->finished) continue;
+    core.charge(hw::costs().mem_access);
+    if ((group->channel->has_request() || group->channel->exit_requested()) &&
+        !group->ready_enqueued) {
+      group->ready_enqueued = true;
+      worker.ready.push_back(group);
+      hit = true;
+    }
+  }
+  worker.spin_cycles_spent += core.cycles() - spin_begin;
+  metrics::Registry& reg = metrics::Registry::instance();
+  if (hit) {
+    ++worker.spin_hits;
+    reg.counter("service/spin_hits").inc(1);
+  } else {
+    ++worker.spin_timeouts;
+    reg.counter("service/spin_timeouts").inc(1);
+  }
+  MV_FR_EVENT(core_id, FrKind::kSpinExit, 0,
+              static_cast<std::uint64_t>(worker.thread->tid), hit ? 1 : 0, "");
+  return hit;
 }
 
 Status MultiverseRuntime::hrt_invoke_func(ros::Thread& caller,

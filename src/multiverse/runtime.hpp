@@ -206,6 +206,11 @@ class MultiverseRuntime {
     std::deque<ExecGroup*> ready;
     std::vector<ExecGroup*> groups;
     Cycles busy_cycles = 0;
+    // Exitless-mode accounting: cycles burnt polling shard rings, and how
+    // many spin windows ended with work found vs expired empty.
+    Cycles spin_cycles_spent = 0;
+    std::uint64_t spin_hits = 0;
+    std::uint64_t spin_timeouts = 0;
   };
 
   Result<ExecGroup*> create_group(ros::Thread& caller, ros::GuestThreadFn fn);
@@ -213,6 +218,11 @@ class MultiverseRuntime {
   // Shared-daemon service-pool internals.
   Status ensure_service_pool(ros::Thread& caller);
   void service_worker_body(std::size_t idx, ros::SysIface& dctx);
+  // Adaptive exitless mode: after draining its ready deque, a worker polls
+  // its shard's submission rings for the configured spin window before
+  // re-arming the doorbell and blocking. Returns true when polling found
+  // work (the ready deque is non-empty again).
+  bool service_worker_spin(ServiceWorker& worker, hw::Core& core);
   // Doorbell path: push the group onto its shard's ready queue (deduped) and
   // wake only that shard's worker.
   void enqueue_ready(ExecGroup* group);

@@ -26,6 +26,9 @@ const char* fr_kind_name(FrKind k) noexcept {
     case FrKind::kExit: return "exit";
     case FrKind::kHybridPromote: return "hybrid_promote";
     case FrKind::kHybridDemote: return "hybrid_demote";
+    case FrKind::kSpinEnter: return "spin_enter";
+    case FrKind::kSpinExit: return "spin_exit";
+    case FrKind::kDoorbellSuppress: return "doorbell_suppress";
   }
   return "?";
 }

@@ -55,6 +55,9 @@ enum class FrKind : std::uint8_t {
   kExit,            // channel exit signal (a=hrt tid)
   kHybridPromote,   // governor promoted a syscall family to override (a=family)
   kHybridDemote,    // governor demoted a family back to forwarding (a=family)
+  kSpinEnter,       // service worker entered ring polling (a=worker, b=window)
+  kSpinExit,        // worker left polling (a=worker, b=1 on hit / 0 timeout)
+  kDoorbellSuppress,  // flush skipped the doorbell: consumer polling (a=seq)
 };
 
 const char* fr_kind_name(FrKind k) noexcept;

@@ -41,6 +41,7 @@ Hvm::Hvm(hw::Machine& machine, HvmConfig config)
         strfmt("hvm/hypercall/%s", hypercall_name(static_cast<Hypercall>(i))));
   }
   injection_metric_ = &reg.counter("hvm/injections");
+  exit_metric_ = &reg.counter("hvm/exits");
 
   // Role-named Perfetto tracks for the partitioned cores; cores outside the
   // partition keep the machine's socket-based defaults. The synthetic VMM
@@ -57,6 +58,7 @@ Hvm::Hvm(hw::Machine& machine, HvmConfig config)
 
 void Hvm::count_hypercall(Hypercall nr) {
   ++exits_;
+  MV_COUNTER_INC(exit_metric_, 1);
   ++hc_counts_[static_cast<std::size_t>(nr)];
   MV_COUNTER_INC(hc_metrics_[static_cast<std::size_t>(nr)], 1);
 }

@@ -201,6 +201,7 @@ class Hvm {
   std::array<metrics::Counter*, static_cast<std::size_t>(Hypercall::kCount_)>
       hc_metrics_{};
   metrics::Counter* injection_metric_ = nullptr;
+  metrics::Counter* exit_metric_ = nullptr;
   Cycles last_boot_cycles_ = 0;
   std::uint64_t ros_signal_handler_ = 0;
   UserInterrupt ros_user_interrupt_;

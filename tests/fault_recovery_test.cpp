@@ -293,10 +293,13 @@ struct GuestObservation {
   std::uint64_t forwarded = 0;
   std::uint64_t served_syscalls = 0;
   std::map<std::string, std::uint64_t> histogram;
+  std::uint64_t injected = 0;
+  std::uint64_t recovered = 0;
 };
 
 GuestObservation run_workload(const std::string& fault_spec,
-                              bool pooled = false) {
+                              bool pooled = false,
+                              const std::string& extra_options = "") {
   SystemConfig cfg;
   if (!fault_spec.empty()) {
     cfg.extra_override_config = strfmt("option fault %s\n", fault_spec.c_str());
@@ -309,6 +312,7 @@ GuestObservation run_workload(const std::string& fault_spec,
     cfg.hrt_cores = {1, 2, 3};
     cfg.extra_override_config += "option service_workers 2\n";
   }
+  cfg.extra_override_config += extra_options;
   HybridSystem system(cfg);
   GuestObservation obs;
   auto r = system.run_hybrid("fault-prop", [&obs](SysIface& sys) {
@@ -339,6 +343,10 @@ GuestObservation run_workload(const std::string& fault_spec,
     obs.forwarded = r->forwarded_syscalls;
     obs.served_syscalls = r->total_syscalls;
     obs.histogram = r->syscall_histogram;
+  }
+  if (FaultPlan* plan = system.runtime().fault_plan()) {
+    obs.injected = plan->injected_total();
+    obs.recovered = plan->recovered_total();
   }
   return obs;
 }
@@ -393,6 +401,40 @@ TEST_P(FaultScheduleProperty, PooledMultiCorePlacementMatchesFaultFree) {
   EXPECT_EQ(faulted.forwarded, baseline.forwarded);
   EXPECT_EQ(faulted.served_syscalls, baseline.served_syscalls);
   EXPECT_EQ(faulted.histogram, baseline.histogram);
+}
+
+TEST_P(FaultScheduleProperty, ExitlessSpinModeMatchesFaultFreeSpinBaseline) {
+  // Exitless-mode leg: the same recovery property with the service pool's
+  // adaptive spin window armed. Doorbell drops/dups now race the workers'
+  // suppression protocol (a dropped doorbell may target a flush that was
+  // about to be suppressed, a retry re-rings into a live spin window), and
+  // the run must still recover to the *fault-free spin-mode* baseline with
+  // byte-identical guest-visible output.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xe71171e55ull);
+  const double p_drop = 0.10 + 0.30 * rng.uniform();
+  const double p_dup = 0.05 + 0.25 * rng.uniform();
+  const std::string spec =
+      strfmt("seed=%llu,drop_doorbell=%.3f,dup_doorbell=%.3f",
+             static_cast<unsigned long long>(seed), p_drop, p_dup);
+  const std::string spin_opts =
+      "option ring_depth 4\noption spin_cycles 150000\n";
+
+  const GuestObservation baseline =
+      run_workload("", /*pooled=*/true, spin_opts);
+  const GuestObservation faulted =
+      run_workload(spec, /*pooled=*/true, spin_opts);
+
+  EXPECT_EQ(faulted.exit_code, 0);
+  EXPECT_EQ(faulted.checksum, baseline.checksum);
+  EXPECT_EQ(faulted.forwarded, baseline.forwarded);
+  EXPECT_EQ(faulted.served_syscalls, baseline.served_syscalls);
+  EXPECT_EQ(faulted.histogram, baseline.histogram);
+  // The schedule must have engaged the recovery machinery, and everything
+  // injected must have been absorbed (or the comparisons above would have
+  // caught the loss).
+  EXPECT_GT(faulted.injected, 0u);
+  EXPECT_GT(faulted.recovered, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleProperty,

@@ -323,5 +323,137 @@ TEST(JoinWaitersTest, SpuriousWakesDoNotAccumulateDuplicateEntries) {
   EXPECT_LE(max_waiters, 1u);
 }
 
+// --- exitless spin mode (adaptive spin-then-doorbell workers) ----------------
+
+// Pooled workload shared by the spin tests: several execution groups each
+// forwarding a burst of syscalls through the shard workers, folding the
+// results into a guest-computed checksum. Everything asserted about the
+// result is cycle-insensitive (values, counts), so runs with different spin
+// windows must agree on all of it.
+struct SpinRun {
+  ProgramResult result;
+  std::uint64_t raise_exits = 0;
+  std::uint64_t suppressed = 0;
+  std::uint64_t spin_hits = 0;
+};
+
+SpinRun run_spin_workload(long long spin_cycles) {
+  const std::uint64_t hits_before =
+      metrics::Registry::instance().counter("service/spin_hits").value();
+  SystemConfig cfg;
+  cfg.group_mode = GroupMode::kSharedDaemon;
+  cfg.ros_cores = {0};
+  cfg.hrt_cores = {1, 2, 3};
+  // Batched rings (depth > 1): the doorbell is a real kRaiseRos hypercall,
+  // which is what the spin window is meant to elide.
+  cfg.extra_override_config =
+      strfmt("option ring_depth 4\noption service_workers 2\n"
+             "option spin_cycles %lld\n",
+             spin_cycles);
+  HybridSystem sys(cfg);
+  SpinRun out;
+  auto r = sys.run_accelerator(
+      "spin-load",
+      [](SysIface&, MultiverseRuntime& rt, ros::Thread& self) {
+        static std::uint64_t checksum;
+        checksum = 0;
+        std::vector<int> groups;
+        for (int i = 0; i < 6; ++i) {
+          auto g = rt.hrt_thread_create(self, [](SysIface& s) {
+            for (int j = 0; j < 8; ++j) {
+              auto pid = s.getpid();
+              checksum = checksum * 31 + (pid.is_ok() ? *pid : 0);
+            }
+          });
+          if (!g.is_ok()) return -1;
+          groups.push_back(*g);
+        }
+        for (const int g : groups) {
+          if (!rt.hrt_thread_join(self, g).is_ok()) return -2;
+        }
+        return static_cast<int>(checksum % 251);
+      });
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  if (r.is_ok()) out.result = *r;
+  out.raise_exits = sys.hvm().hypercall_count(vmm::Hypercall::kRaiseRos);
+  for (const auto& [name, counter] :
+       metrics::Registry::instance().counters_with_prefix("channel/")) {
+    if (name.find("doorbells_suppressed") != std::string::npos) {
+      out.suppressed += counter->value();
+    }
+  }
+  out.spin_hits =
+      metrics::Registry::instance().counter("service/spin_hits").value() -
+      hits_before;
+  return out;
+}
+
+TEST(ExitlessSpinTest, SpinModeMatchesInterruptModeByteForByte) {
+  // The spin window changes when submissions are *noticed*, never what they
+  // compute: guest-visible output — exit code (checksum), syscall histogram,
+  // forwarded counts — must be identical with polling on and off, while the
+  // polling run actually exercises suppression.
+  const SpinRun off = run_spin_workload(0);
+  const SpinRun on = run_spin_workload(200000);
+  EXPECT_EQ(on.result.exit_code, off.result.exit_code);
+  EXPECT_EQ(on.result.stdout_text, off.result.stdout_text);
+  EXPECT_EQ(on.result.syscall_histogram, off.result.syscall_histogram);
+  EXPECT_EQ(on.result.forwarded_syscalls, off.result.forwarded_syscalls);
+  EXPECT_EQ(on.result.total_syscalls, off.result.total_syscalls);
+  EXPECT_EQ(off.suppressed, 0u);
+  EXPECT_GT(on.suppressed, 0u) << "spin run never suppressed a doorbell";
+  EXPECT_GT(on.spin_hits, 0u) << "spin window never caught a submission";
+  // The point of the exercise: polling workers take fewer doorbell exits.
+  EXPECT_LT(on.raise_exits, off.raise_exits);
+}
+
+TEST(ExitlessSpinTest, TinySpinWindowsNeverStrandASubmission) {
+  // Regression for the checked-empty-then-re-arm window (same lost-wakeup
+  // class as the Sched::wake token fix): a worker leaving its spin window
+  // must clear the poll word BEFORE its final ring re-check, or a flush that
+  // suppressed its doorbell against the closing window is stranded. Tiny
+  // windows make the spin expire between nearly every submission, hammering
+  // the handoff edge; a lost submission deadlocks the schedule and fails the
+  // run.
+  for (const long long window : {1LL, 3LL, 17LL, 64LL, 700LL, 5000LL}) {
+    const SpinRun run = run_spin_workload(window);
+    EXPECT_FALSE(run.result.killed) << "window=" << window;
+    EXPECT_GE(run.result.exit_code, 0) << "window=" << window;
+  }
+}
+
+TEST(ExitlessSpinTest, PollWordClearedOnceWorkersPark) {
+  // After a run completes, no channel may be left advertising a polling
+  // consumer: the worker's exit path re-arms every doorbell it suppressed.
+  SystemConfig cfg;
+  cfg.group_mode = GroupMode::kSharedDaemon;
+  cfg.ros_cores = {0};
+  cfg.hrt_cores = {1, 2};
+  cfg.extra_override_config =
+      "option service_workers 2\noption spin_cycles 50000\n";
+  HybridSystem sys(cfg);
+  std::vector<int> group_ids;
+  auto r = sys.run_accelerator(
+      "spin-park",
+      [&group_ids](SysIface&, MultiverseRuntime& rt, ros::Thread& self) {
+        for (int i = 0; i < 3; ++i) {
+          auto g = rt.hrt_thread_create(
+              self, [](SysIface& s) { (void)s.getpid(); });
+          if (!g.is_ok()) return 1;
+          group_ids.push_back(*g);
+          if (!rt.hrt_thread_join(self, *g).is_ok()) return 2;
+        }
+        return 0;
+      });
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r->exit_code, 0);
+  for (const int id : group_ids) {
+    const ExecGroup* group = sys.runtime().find_group(id);
+    ASSERT_NE(group, nullptr);
+    EXPECT_FALSE(group->channel->consumer_polling())
+        << "group " << id << " left with the poll word set";
+  }
+}
+
 }  // namespace
 }  // namespace mv::multiverse

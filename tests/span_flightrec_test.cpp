@@ -265,6 +265,93 @@ TEST(WatchdogTest, HealthyChannelNeverTrips) {
   EXPECT_EQ(recorder.snapshot_count(), 0u);
 }
 
+TEST(WatchdogTest, SpinWindowGrantsSlackBeforeFlaggingAStall) {
+  // Satellite of the exitless mode: while a consumer advertises a spin
+  // window, a request may legitimately sit un-served for up to that window
+  // without being stuck. The watchdog must grant the window as slack — the
+  // identical schedule with no polling consumer (StalledRequestTriggers-
+  // ExactlyOneSnapshot above) flags exactly one stall; with a polling
+  // consumer it must flag none while the transport's retry path still
+  // recovers the dropped doorbell.
+  metrics::Registry::instance().reset();
+  FlightRecorder& recorder = FlightRecorder::instance();
+  recorder.reset();
+
+  ChannelRig rig;
+  FaultPlan::Spec spec;
+  spec.seed = 7;
+  spec.probability[static_cast<std::size_t>(FaultClass::kDropDoorbell)] = 1.0;
+  FaultPlan plan(spec);
+  rig.chan.set_fault_plan(&plan);
+  ASSERT_TRUE(rig.chan.init().is_ok());
+  rig.chan.set_watchdog_multiple(2);
+  auto* proc = rig.start_partner();
+  ASSERT_NE(proc, nullptr);
+
+  rig.sched.spawn(
+      1,
+      [&] {
+        auto r = rig.chan.forward_syscall(SysNr::kGetpid, {});
+        ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+        rig.chan.mark_exit();
+      },
+      "req");
+  // Runs after the requester has published its (doorbell-dropped)
+  // submission: the consumer enters a spin window far wider than the
+  // watchdog bound, exactly what a mid-spin pool worker advertises.
+  rig.sched.spawn(
+      0,
+      [&] { rig.chan.set_consumer_polling(true, /*spin_window=*/100000000); },
+      "spinner");
+  ASSERT_TRUE(rig.sched.run().is_ok());
+
+  EXPECT_EQ(rig.chan.watchdog_stalls(), 0u)
+      << "legitimately-spinning slot flagged as a stall";
+  EXPECT_EQ(recorder.snapshot_count(), 0u);
+  EXPECT_GE(rig.chan.retries(), 1u) << "recovery must still run under spin";
+  EXPECT_EQ(rig.chan.requests_served(), 1u);
+  EXPECT_EQ(
+      metrics::Registry::instance().counter("mv/watchdog/stalls").value(), 0u);
+}
+
+TEST(WatchdogTest, WatchdogAndSpinCyclesCoexistInPooledRuns) {
+  // Config-level regression: `option watchdog` and `option spin_cycles` set
+  // together must not produce false mv/watchdog/stalls on a healthy pooled
+  // workload — workers park in spin windows as long as the watchdog bound.
+  const std::uint64_t stalls_before =
+      metrics::Registry::instance().counter("mv/watchdog/stalls").value();
+  SystemConfig cfg;
+  cfg.group_mode = GroupMode::kSharedDaemon;
+  cfg.ros_cores = {0};
+  cfg.hrt_cores = {1, 2};
+  cfg.extra_override_config =
+      "option ring_depth 4\noption service_workers 2\n"
+      "option watchdog 2\noption spin_cycles 200000\n";
+  HybridSystem sys(cfg);
+  auto r = sys.run_accelerator(
+      "watchdog-spin",
+      [](SysIface&, MultiverseRuntime& rt, ros::Thread& self) {
+        std::vector<int> groups;
+        for (int i = 0; i < 4; ++i) {
+          auto g = rt.hrt_thread_create(self, [](SysIface& s) {
+            for (int j = 0; j < 6; ++j) (void)s.getpid();
+          });
+          if (!g.is_ok()) return 1;
+          groups.push_back(*g);
+        }
+        for (const int g : groups) {
+          if (!rt.hrt_thread_join(self, g).is_ok()) return 2;
+        }
+        return 0;
+      });
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r->exit_code, 0);
+  EXPECT_EQ(
+      metrics::Registry::instance().counter("mv/watchdog/stalls").value(),
+      stalls_before)
+      << "healthy spin-mode run tripped the stall watchdog";
+}
+
 // --- white-box: partner-death snapshot --------------------------------------
 
 TEST(FlightRecorderIntegrationTest, PartnerDeathSnapshotsStuckSlot) {
