@@ -42,11 +42,24 @@ inline void banner(const char* artifact, const char* description) {
 }
 
 // Scheme engine configuration used by the Racket-benchmark harnesses: GC
-// pressure tuned so the legacy-interaction rate is paper-like.
+// pressure tuned so the legacy-interaction rate is paper-like. The bytecode
+// VM is the production engine (the tree walker stays on as the reference
+// oracle — see interpreter_profile); its per-instruction charge models a
+// compiled dispatch loop against the interpreter's per-step walk.
 inline scheme::Engine::Config racket_profile() {
   scheme::Engine::Config cfg;
   cfg.heap.gc_allocation_trigger = 8 * 1024;
   cfg.eval_cycles = 110;
+  cfg.exec = scheme::Engine::Exec::kBytecodeVm;
+  cfg.vm_insn_cycles = 26;
+  return cfg;
+}
+
+// The same profile on the tree-walking interpreter: the reference oracle
+// the VM must match byte-for-byte (fig13's engine comparison).
+inline scheme::Engine::Config interpreter_profile() {
+  scheme::Engine::Config cfg = racket_profile();
+  cfg.exec = scheme::Engine::Exec::kInterpreter;
   return cfg;
 }
 
@@ -122,19 +135,22 @@ inline void print_channel_latency_percentiles() {
   if (any) std::printf("\n");
 }
 
-inline Result<ProgramResult> run_scheme_benchmark(Mode mode, scheme::Bench b,
-                                                  int n) {
+inline Result<ProgramResult> run_scheme_benchmark(
+    Mode mode, scheme::Bench b, int n,
+    const scheme::Engine::Config& engine_cfg = racket_profile(),
+    scheme::GcStats* gc_out = nullptr) {
   SystemConfig cfg;
   cfg.virtualized = mode != Mode::kNative;
   HybridSystem system(cfg);
   MV_RETURN_IF_ERROR(scheme::install_boot_files(system.linux().fs()));
   const std::string src = scheme::benchmark_source(b, n);
-  auto guest = [src](ros::SysIface& sys) {
-    scheme::Engine engine(sys, racket_profile());
+  auto guest = [src, engine_cfg, gc_out](ros::SysIface& sys) {
+    scheme::Engine engine(sys, engine_cfg);
     const Status up = engine.init();
     if (!up.is_ok()) return 70;
     auto r = engine.eval_string(src);
     (void)engine.flush();
+    if (gc_out != nullptr) *gc_out = engine.heap().stats();
     return r.is_ok() ? 0 : 1;
   };
   if (mode == Mode::kMultiverse) {

@@ -14,9 +14,11 @@ int main() {
   using namespace mvbench;
   banner("Figure 12", "syscall histogram: binary-tree-2 run");
 
+  scheme::GcStats gc;
   auto r = run_scheme_benchmark(
       Mode::kNative, scheme::Bench::kBinaryTrees,
-      scheme::benchmark_bench_size(scheme::Bench::kBinaryTrees));
+      scheme::benchmark_bench_size(scheme::Bench::kBinaryTrees),
+      racket_profile(), &gc);
   if (!r) {
     std::printf("failed: %s\n", r.status().to_string().c_str());
     return 1;
@@ -40,6 +42,13 @@ int main() {
               static_cast<unsigned long long>(r->total_syscalls),
               static_cast<unsigned long long>(r->page_faults),
               static_cast<unsigned long long>(r->signals_delivered));
+  std::printf("GC: %llu collections, %llu cells allocated, %llu chunks "
+              "mapped / %llu unmapped, %llu pooled-frame reuses\n",
+              static_cast<unsigned long long>(gc.collections),
+              static_cast<unsigned long long>(gc.cells_allocated),
+              static_cast<unsigned long long>(gc.chunks_mapped),
+              static_cast<unsigned long long>(gc.chunks_unmapped),
+              static_cast<unsigned long long>(gc.env_reuses));
 
   const auto count_of = [&](const char* name) {
     const auto it = r->syscall_histogram.find(name);

@@ -885,6 +885,8 @@ Result<Value> Engine::apply_value(Value fn, std::vector<Value>& args) {
     count_step();
     return fn.cell->builtin(*this, args);
   }
+  // Bytecode closures (VM engine) apply through the VM, not the tree walker.
+  if (fn.cell->proto_idx >= 0) return vm_apply(fn, args);
   Cell* call_env = nullptr;
   MV_RETURN_IF_ERROR(apply_closure_env(fn.cell, args, &call_env).status());
   scope.add(Value::from_cell(call_env));

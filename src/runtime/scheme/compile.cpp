@@ -1,0 +1,1246 @@
+#include "runtime/scheme/compile.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "runtime/scheme/engine.hpp"
+#include "support/strings.hpp"
+
+// Compiler pass: s-expression -> Proto. Mirrors eval.cpp form by form —
+// every special form's evaluation order, environment discipline, and error
+// message is reproduced here so the two engines stay byte-identical over
+// observable behaviour. Known intentional divergence: malformed special
+// forms are rejected at compile time even in code paths the interpreter
+// would never reach at runtime (dead branches).
+
+namespace mv::scheme {
+
+namespace {
+
+bool list_get(Value list, std::size_t index, Value* out) {
+  Value cur = list;
+  for (std::size_t i = 0; i < index; ++i) {
+    if (!cur.is_pair()) return false;
+    cur = cur.cell->cdr;
+  }
+  if (!cur.is_pair()) return false;
+  *out = cur.cell->car;
+  return true;
+}
+
+// Tail context. `proto` means the expression's value is the proto's return
+// value (a call there may kTailCall). `loop_from` is the smallest index
+// into the active-loop stack for which this position is loop-tail: a call
+// to loop j may compile to a jump iff j >= loop_from (the operand stack is
+// at label height exactly there).
+struct Tail {
+  bool proto = false;
+  int loop_from = 0;
+};
+
+struct Binding {
+  SymId sym;
+  int slot;        // frame slot; unused when loop_idx >= 0
+  bool visible;    // toggled off while compiling named-let init exprs
+  int loop_idx;    // >= 0: this name is a jump-compiled loop, not a slot
+};
+
+struct Scope {
+  std::vector<Binding> binds;
+};
+
+struct LoopInfo {
+  SymId name;
+  std::vector<int> arg_slots;
+  int label = 0;
+  bool active = false;
+};
+
+struct FuncCtx {
+  int proto_idx;
+  std::vector<Scope> scopes;   // innermost last; flattened into one frame
+  std::vector<LoopInfo> loops; // jump-compiled named lets, in nesting order
+  std::uint32_t next_slot = 0;
+  FuncCtx* parent = nullptr;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(Engine& engine)
+      : eng_(engine),
+        s_quote_(engine.intern("quote")),
+        s_if_(engine.intern("if")),
+        s_define_(engine.intern("define")),
+        s_set_(engine.intern("set!")),
+        s_lambda_(engine.intern("lambda")),
+        s_begin_(engine.intern("begin")),
+        s_let_(engine.intern("let")),
+        s_let_star_(engine.intern("let*")),
+        s_letrec_(engine.intern("letrec")),
+        s_cond_(engine.intern("cond")),
+        s_case_(engine.intern("case")),
+        s_else_(engine.intern("else")),
+        s_and_(engine.intern("and")),
+        s_or_(engine.intern("or")),
+        s_when_(engine.intern("when")),
+        s_unless_(engine.intern("unless")),
+        s_do_(engine.intern("do")),
+        s_quasiquote_(engine.intern("quasiquote")),
+        s_unquote_(engine.intern("unquote")) {}
+
+  Result<int> toplevel(Value form) {
+    const int idx = new_proto("<toplevel>");
+    FuncCtx ctx;
+    ctx.proto_idx = idx;
+    ctx.parent = nullptr;
+    ctx_ = &ctx;
+    // The toplevel context starts with zero scopes: a bare define here is a
+    // global define, exactly as eval() against global_env_ behaves.
+    Status st = compile(form, Tail{true, 0});
+    if (st.is_ok()) emit(Op::kReturn);
+    proto().nslots = std::max(proto().nslots, ctx.next_slot);
+    ctx_ = nullptr;
+    if (!st.is_ok()) return st;
+    return idx;
+  }
+
+ private:
+  Engine& eng_;
+  FuncCtx* ctx_ = nullptr;
+
+  const SymId s_quote_, s_if_, s_define_, s_set_, s_lambda_, s_begin_,
+      s_let_, s_let_star_, s_letrec_, s_cond_, s_case_, s_else_, s_and_,
+      s_or_, s_when_, s_unless_, s_do_, s_quasiquote_, s_unquote_;
+
+  // --- proto / emission helpers -------------------------------------------
+
+  Proto& proto() { return *eng_.protos()[ctx_->proto_idx]; }
+
+  int new_proto(std::string name) {
+    eng_.protos().push_back(std::make_unique<Proto>());
+    eng_.protos().back()->name = std::move(name);
+    return static_cast<int>(eng_.protos().size()) - 1;
+  }
+
+  int emit(Op op, std::int32_t a = 0, std::int32_t b = 0) {
+    proto().code.push_back(Insn{op, a, b});
+    return static_cast<int>(proto().code.size()) - 1;
+  }
+
+  int here() { return static_cast<int>(proto().code.size()); }
+
+  void patch(int at, int target) { proto().code[at].a = target; }
+
+  int add_const(Value v) {
+    proto().consts.push_back(v);
+    return static_cast<int>(proto().consts.size()) - 1;
+  }
+
+  void emit_const(Value v) { emit(Op::kConst, add_const(v)); }
+
+  Tail non_tail() const {
+    return Tail{false, static_cast<int>(ctx_->loops.size())};
+  }
+
+  // --- scope / slot management --------------------------------------------
+
+  int new_slot() {
+    const int s = static_cast<int>(ctx_->next_slot++);
+    proto().nslots = std::max(proto().nslots, ctx_->next_slot);
+    return s;
+  }
+
+  // Append-mode bind (lambda params, letrec, do vars): duplicates coexist
+  // and the first-bound wins on lookup, matching the interpreter's forward
+  // scan over frame bindings.
+  int bind_append(Scope& scope, SymId sym) {
+    const int slot = new_slot();
+    scope.binds.push_back(Binding{sym, slot, true, -1});
+    return slot;
+  }
+
+  // Define-mode bind (define, let/let* stores): an existing binding in the
+  // same contour is overwritten in place, matching env_define.
+  int bind_define(Scope& scope, SymId sym) {
+    for (Binding& b : scope.binds) {
+      if (b.sym == sym && b.loop_idx < 0) return b.slot;
+    }
+    return bind_append(scope, sym);
+  }
+
+  void bind_loop(Scope& scope, SymId sym, int loop_idx) {
+    scope.binds.push_back(Binding{sym, -1, true, loop_idx});
+  }
+
+  // Resolve a name to (depth, slot) or a loop binding. Scopes are searched
+  // innermost-first; within a scope, first match wins (the interpreter's
+  // frame scan order). Returns false if the name is free (-> global).
+  struct Resolution {
+    int depth = 0;
+    int slot = 0;
+    int loop_idx = -1;  // >= 0: jump-compiled loop in the current ctx
+  };
+  bool resolve(SymId sym, Resolution* out) {
+    int depth = 0;
+    for (FuncCtx* c = ctx_; c != nullptr; c = c->parent, ++depth) {
+      for (std::size_t si = c->scopes.size(); si-- > 0;) {
+        for (const Binding& b : c->scopes[si].binds) {
+          if (b.sym != sym || !b.visible) continue;
+          if (b.loop_idx >= 0) {
+            // Loop bindings never leak into nested protos: any closure in
+            // a loop body disqualifies jump compilation up front.
+            if (depth != 0) return false;
+            out->depth = 0;
+            out->slot = -1;
+            out->loop_idx = b.loop_idx;
+            return true;
+          }
+          out->depth = depth;
+          out->slot = b.slot;
+          out->loop_idx = -1;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void set_visible(Scope& scope, SymId sym, bool visible) {
+    for (Binding& b : scope.binds) {
+      if (b.sym == sym) b.visible = visible;
+    }
+  }
+
+  // --- define pre-scan -----------------------------------------------------
+  // Reserves slots for internal defines of a contour body so mutually
+  // recursive functions resolve before their define executes. Descends only
+  // through forms that do NOT open their own frame in the interpreter.
+
+  void prescan_defines(Value body_list, Scope& scope) {
+    for (Value b = body_list; b.is_pair(); b = b.cell->cdr) {
+      prescan_form(b.cell->car, scope);
+    }
+  }
+
+  void prescan_form(Value form, Scope& scope) {
+    if (!form.is_pair() || !form.cell->car.is_sym()) return;
+    const SymId s = form.cell->car.sym;
+    const Value rest = form.cell->cdr;
+    if (s == s_define_) {
+      Value target;
+      if (!list_get(rest, 0, &target)) return;
+      if (target.is_sym()) {
+        bind_define(scope, target.sym);
+      } else if (target.is_pair() && target.cell->car.is_sym()) {
+        bind_define(scope, target.cell->car.sym);
+      }
+      return;
+    }
+    if (s == s_begin_ || s == s_when_ || s == s_unless_ || s == s_if_ ||
+        s == s_and_ || s == s_or_) {
+      for (Value b = rest; b.is_pair(); b = b.cell->cdr) {
+        prescan_form(b.cell->car, scope);
+      }
+      return;
+    }
+    if (s == s_cond_ || s == s_case_) {
+      for (Value clause = rest; clause.is_pair(); clause = clause.cell->cdr) {
+        for (Value b = clause.cell->car; b.is_pair(); b = b.cell->cdr) {
+          prescan_form(b.cell->car, scope);
+        }
+      }
+      return;
+    }
+    // let/let*/letrec/do/lambda open their own contour: their defines
+    // belong to that contour's own pre-scan.
+  }
+
+  // Emit kInitSlots for slots the pre-scan freshly reserved (letrec-style
+  // unspecified until their define runs).
+  void emit_init_reserved(std::uint32_t first, std::uint32_t after) {
+    if (after > first) {
+      emit(Op::kInitSlots, static_cast<std::int32_t>(first),
+           static_cast<std::int32_t>(after - first));
+    }
+  }
+
+  // --- loop qualification analysis ----------------------------------------
+
+  static bool sym_appears(Value form, SymId name) {
+    if (form.is_sym()) return form.sym == name;
+    if (!form.is_pair()) return false;
+    return sym_appears(form.cell->car, name) ||
+           sym_appears(form.cell->cdr, name);
+  }
+
+  // Whether evaluating `form` can create a closure that captures the
+  // current frame. A nested named let counts only if it itself fails jump
+  // qualification (inner-first recursion).
+  bool contains_closure(Value form) {
+    if (!form.is_pair()) return false;
+    const Value head = form.cell->car;
+    const Value rest = form.cell->cdr;
+    if (head.is_sym()) {
+      const SymId s = head.sym;
+      if (s == s_quote_) return false;
+      if (s == s_lambda_) return true;
+      if (s == s_define_) {
+        Value target;
+        if (list_get(rest, 0, &target) && target.is_pair()) return true;
+        Value init;
+        if (list_get(rest, 1, &init)) return contains_closure(init);
+        return false;
+      }
+      if (s == s_let_) {
+        Value first;
+        if (list_get(rest, 0, &first) && first.is_sym()) {
+          // Named let: a qualifying one compiles to jumps (no closure);
+          // only its init expressions can still create closures.
+          Value bindings;
+          if (!list_get(rest, 1, &bindings)) return true;
+          const Value body = rest.cell->cdr.cell->cdr;
+          if (!named_let_qualifies(first.sym, bindings, body)) return true;
+          for (Value b = bindings; b.is_pair(); b = b.cell->cdr) {
+            Value init;
+            if (list_get(b.cell->car, 1, &init) && contains_closure(init)) {
+              return true;
+            }
+          }
+          return false;
+        }
+      }
+    }
+    for (Value cur = form; cur.is_pair(); cur = cur.cell->cdr) {
+      if (contains_closure(cur.cell->car)) return true;
+    }
+    return false;
+  }
+
+  // Whether every occurrence of `name` in `form` is the operator of an
+  // `arity`-argument call in (loop-)tail position, with no shadowing or
+  // mutation of the name anywhere beneath.
+  bool refs_ok(Value form, SymId name, bool tail, int arity) {
+    if (form.is_sym()) return form.sym != name;  // bare reference escapes
+    if (!form.is_pair()) return true;
+    const Value head = form.cell->car;
+    const Value rest = form.cell->cdr;
+
+    if (head.is_sym()) {
+      const SymId s = head.sym;
+      if (s == s_quote_) return true;
+      if (s == s_quasiquote_ || s == s_unquote_) {
+        return !sym_appears(rest, name);  // conservative
+      }
+      if (s == s_lambda_) {
+        // A lambda anywhere disqualifies via contains_closure; the refs
+        // check does not need to look inside.
+        return true;
+      }
+      if (s == s_if_) {
+        Value test, conseq, alt;
+        if (!list_get(rest, 0, &test) || !list_get(rest, 1, &conseq)) {
+          return true;  // malformed: compile will error anyway
+        }
+        if (!refs_ok(test, name, false, arity)) return false;
+        if (!refs_ok(conseq, name, tail, arity)) return false;
+        if (list_get(rest, 2, &alt)) return refs_ok(alt, name, tail, arity);
+        return true;
+      }
+      if (s == s_define_) {
+        Value target;
+        if (list_get(rest, 0, &target)) {
+          if (target.is_sym() && target.sym == name) return false;
+          if (target.is_pair() && target.cell->car.is_sym() &&
+              target.cell->car.sym == name) {
+            return false;
+          }
+        }
+        Value init;
+        if (list_get(rest, 1, &init)) return refs_ok(init, name, false, arity);
+        return true;
+      }
+      if (s == s_set_) {
+        Value target, init;
+        if (list_get(rest, 0, &target) && target.is_sym() &&
+            target.sym == name) {
+          return false;
+        }
+        if (list_get(rest, 1, &init)) return refs_ok(init, name, false, arity);
+        return true;
+      }
+      if (s == s_begin_) {
+        return refs_ok_body(rest, name, tail, arity);
+      }
+      if (s == s_let_ || s == s_let_star_ || s == s_letrec_) {
+        Value first;
+        if (!list_get(rest, 0, &first)) return true;
+        Value bindings = first;
+        Value body = rest.cell->cdr;
+        if (s == s_let_ && first.is_sym()) {
+          if (first.sym == name) return false;  // shadowed loop name
+          if (!list_get(rest, 1, &bindings)) return true;
+          body = rest.cell->cdr.cell->cdr;
+        }
+        for (Value b = bindings; b.is_pair(); b = b.cell->cdr) {
+          Value bname, init;
+          if (list_get(b.cell->car, 0, &bname) && bname.is_sym() &&
+              bname.sym == name) {
+            return false;  // shadowing binder
+          }
+          if (list_get(b.cell->car, 1, &init) &&
+              !refs_ok(init, name, false, arity)) {
+            return false;
+          }
+        }
+        return refs_ok_body(body, name, tail, arity);
+      }
+      if (s == s_cond_) {
+        for (Value clause = rest; clause.is_pair();
+             clause = clause.cell->cdr) {
+          if (!clause.cell->car.is_pair()) continue;
+          const Value chead = clause.cell->car.cell->car;
+          if (!(chead.is_sym() && chead.sym == s_else_) &&
+              !refs_ok(chead, name, false, arity)) {
+            return false;
+          }
+          if (!refs_ok_body(clause.cell->car.cell->cdr, name, tail, arity)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      if (s == s_case_) {
+        Value key;
+        if (list_get(rest, 0, &key) && !refs_ok(key, name, false, arity)) {
+          return false;
+        }
+        for (Value clause = rest.is_pair() ? rest.cell->cdr : Value::nil();
+             clause.is_pair(); clause = clause.cell->cdr) {
+          if (!clause.cell->car.is_pair()) continue;
+          if (!refs_ok_body(clause.cell->car.cell->cdr, name, tail, arity)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      if (s == s_and_ || s == s_or_) {
+        if (!rest.is_pair()) return true;
+        Value cur = rest;
+        while (cur.cell->cdr.is_pair()) {
+          if (!refs_ok(cur.cell->car, name, false, arity)) return false;
+          cur = cur.cell->cdr;
+        }
+        return refs_ok(cur.cell->car, name, tail, arity);
+      }
+      if (s == s_when_ || s == s_unless_) {
+        Value test;
+        if (list_get(rest, 0, &test) && !refs_ok(test, name, false, arity)) {
+          return false;
+        }
+        return refs_ok_body(rest.is_pair() ? rest.cell->cdr : Value::nil(),
+                            name, tail, arity);
+      }
+      if (s == s_do_) {
+        Value bindings, exit_clause;
+        if (!list_get(rest, 0, &bindings) ||
+            !list_get(rest, 1, &exit_clause)) {
+          return true;
+        }
+        for (Value b = bindings; b.is_pair(); b = b.cell->cdr) {
+          Value bname, init, step;
+          if (list_get(b.cell->car, 0, &bname) && bname.is_sym() &&
+              bname.sym == name) {
+            return false;
+          }
+          if (list_get(b.cell->car, 1, &init) &&
+              !refs_ok(init, name, false, arity)) {
+            return false;
+          }
+          if (list_get(b.cell->car, 2, &step) &&
+              !refs_ok(step, name, false, arity)) {
+            return false;
+          }
+        }
+        Value test;
+        if (list_get(exit_clause, 0, &test) &&
+            !refs_ok(test, name, false, arity)) {
+          return false;
+        }
+        // Exit results: last is tail; body forms are never tail.
+        if (!refs_ok_body(exit_clause.cell->cdr, name, tail, arity)) {
+          return false;
+        }
+        for (Value b = rest.cell->cdr.cell->cdr; b.is_pair();
+             b = b.cell->cdr) {
+          if (!refs_ok(b.cell->car, name, false, arity)) return false;
+        }
+        return true;
+      }
+      if (s == name) {
+        // Call with our name in operator position.
+        if (!tail) return false;
+        int argc = 0;
+        for (Value a = rest; a.is_pair(); a = a.cell->cdr) {
+          if (!refs_ok(a.cell->car, name, false, arity)) return false;
+          ++argc;
+        }
+        return argc == arity;
+      }
+    }
+    // Generic application (or pair-headed form): nothing is tail.
+    if (head.is_sym() && head.sym == name) return false;  // unreachable
+    if (!refs_ok(head, name, false, arity)) return false;
+    for (Value a = rest; a.is_pair(); a = a.cell->cdr) {
+      if (!refs_ok(a.cell->car, name, false, arity)) return false;
+    }
+    return true;
+  }
+
+  bool refs_ok_body(Value body, SymId name, bool tail, int arity) {
+    if (!body.is_pair()) return true;
+    Value cur = body;
+    while (cur.cell->cdr.is_pair()) {
+      if (!refs_ok(cur.cell->car, name, false, arity)) return false;
+      cur = cur.cell->cdr;
+    }
+    return refs_ok(cur.cell->car, name, tail, arity);
+  }
+
+  bool named_let_qualifies(SymId name, Value bindings, Value body) {
+    std::vector<SymId> params;
+    for (Value b = bindings; b.is_pair(); b = b.cell->cdr) {
+      Value bname;
+      if (!list_get(b.cell->car, 0, &bname) || !bname.is_sym()) return false;
+      if (bname.sym == name) return false;  // param shadows the loop name
+      for (const SymId p : params) {
+        if (p == bname.sym) return false;  // duplicate loop params
+      }
+      params.push_back(bname.sym);
+    }
+    for (Value b = body; b.is_pair(); b = b.cell->cdr) {
+      if (contains_closure(b.cell->car)) return false;
+    }
+    return refs_ok_body(body, name, true,
+                        static_cast<int>(params.size()));
+  }
+
+  // --- compilation ---------------------------------------------------------
+
+  Status compile(Value expr, Tail tail) {
+    if (expr.is_sym()) return compile_ref(expr.sym);
+    if (!expr.is_pair()) {
+      emit_const(expr);  // literals self-evaluate (same cell as the source)
+      return Status::ok();
+    }
+
+    const Value op = expr.cell->car;
+    const Value rest = expr.cell->cdr;
+
+    if (op.is_sym()) {
+      const SymId s = op.sym;
+      if (s == s_quote_) {
+        Value quoted;
+        if (!list_get(rest, 0, &quoted)) return err(Err::kInval, "quote");
+        emit_const(quoted);
+        return Status::ok();
+      }
+      if (s == s_quasiquote_) {
+        Value tmpl;
+        if (!list_get(rest, 0, &tmpl)) return err(Err::kInval, "quasiquote");
+        return compile_quasiquote(tmpl, 1);
+      }
+      if (s == s_unquote_) {
+        return err(Err::kInval, "unquote outside quasiquote");
+      }
+      if (s == s_if_) return compile_if(rest, tail);
+      if (s == s_define_) return compile_define(rest);
+      if (s == s_set_) return compile_set(rest);
+      if (s == s_lambda_) {
+        Value params;
+        if (!list_get(rest, 0, &params)) return err(Err::kInval, "lambda");
+        MV_ASSIGN_OR_RETURN(const int pidx,
+                            compile_lambda(params, rest.cell->cdr, ""));
+        emit(Op::kMakeClosure, pidx);
+        proto().frame_escapes = true;
+        return Status::ok();
+      }
+      if (s == s_begin_) return compile_body(rest, tail);
+      if (s == s_let_ || s == s_let_star_ || s == s_letrec_) {
+        return compile_let(s, expr, rest, tail);
+      }
+      if (s == s_cond_) return compile_cond(rest, tail);
+      if (s == s_case_) return compile_case(rest, tail);
+      if (s == s_and_ || s == s_or_) return compile_and_or(s, rest, tail);
+      if (s == s_when_ || s == s_unless_) {
+        return compile_when_unless(s, rest, tail);
+      }
+      if (s == s_do_) return compile_do(rest, tail);
+    }
+
+    return compile_application(expr, op, rest, tail);
+  }
+
+  Status compile_ref(SymId sym) {
+    Resolution r;
+    if (resolve(sym, &r)) {
+      if (r.loop_idx >= 0) {
+        // The qualification analysis guarantees this cannot happen; fail
+        // loudly rather than emit a wrong program.
+        return err(Err::kState,
+                   "internal: loop name referenced outside a tail call");
+      }
+      emit(Op::kLocal, r.depth, r.slot);
+      return Status::ok();
+    }
+    emit(Op::kGlobal, static_cast<std::int32_t>(sym));
+    return Status::ok();
+  }
+
+  // Body list: all but last form discarded; last in `tail` position. Empty
+  // body yields unspecified (eval_body_tail's behaviour).
+  Status compile_body(Value body, Tail tail) {
+    if (!body.is_pair()) {
+      emit_const(Value::unspecified());
+      return Status::ok();
+    }
+    Value cur = body;
+    while (cur.cell->cdr.is_pair()) {
+      MV_RETURN_IF_ERROR(compile(cur.cell->car, non_tail()));
+      emit(Op::kPop);
+      cur = cur.cell->cdr;
+    }
+    return compile(cur.cell->car, tail);
+  }
+
+  Status compile_if(Value rest, Tail tail) {
+    Value test, conseq, alt;
+    if (!list_get(rest, 0, &test) || !list_get(rest, 1, &conseq)) {
+      return err(Err::kInval, "if: malformed");
+    }
+    MV_RETURN_IF_ERROR(compile(test, non_tail()));
+    const int jf = emit(Op::kJumpIfFalse);
+    MV_RETURN_IF_ERROR(compile(conseq, tail));
+    const int jend = emit(Op::kJump);
+    patch(jf, here());
+    if (list_get(rest, 2, &alt)) {
+      MV_RETURN_IF_ERROR(compile(alt, tail));
+    } else {
+      emit_const(Value::unspecified());
+    }
+    patch(jend, here());
+    return Status::ok();
+  }
+
+  Status compile_define(Value rest) {
+    Value target;
+    if (!list_get(rest, 0, &target)) return err(Err::kInval, "define");
+    if (target.is_sym()) {
+      Value init;
+      if (!list_get(rest, 1, &init)) return err(Err::kInval, "define");
+      MV_RETURN_IF_ERROR(compile(init, non_tail()));
+      emit(Op::kNameIfAnon, static_cast<std::int32_t>(target.sym));
+      MV_RETURN_IF_ERROR(emit_define_store(target.sym));
+      emit_const(Value::unspecified());
+      return Status::ok();
+    }
+    if (target.is_pair()) {
+      const Value name = target.cell->car;
+      if (!name.is_sym()) return err(Err::kInval, "define: bad name");
+      MV_ASSIGN_OR_RETURN(
+          const int pidx,
+          compile_lambda(target.cell->cdr, rest.cell->cdr,
+                         eng_.sym_name(name.sym)));
+      emit(Op::kMakeClosure, pidx);
+      proto().frame_escapes = true;
+      MV_RETURN_IF_ERROR(emit_define_store(name.sym));
+      emit_const(Value::unspecified());
+      return Status::ok();
+    }
+    return err(Err::kInval, "define: bad target");
+  }
+
+  Status emit_define_store(SymId sym) {
+    if (ctx_->scopes.empty()) {
+      // Toplevel context outside any contour: define into the global table,
+      // as env_define(global_env_) does.
+      emit(Op::kDefGlobal, static_cast<std::int32_t>(sym));
+      return Status::ok();
+    }
+    const int slot = bind_define(ctx_->scopes.back(), sym);
+    emit(Op::kSetLocal, 0, slot);
+    return Status::ok();
+  }
+
+  Status compile_set(Value rest) {
+    Value name, init;
+    if (!list_get(rest, 0, &name) || !list_get(rest, 1, &init) ||
+        !name.is_sym()) {
+      return err(Err::kInval, "set!: malformed");
+    }
+    MV_RETURN_IF_ERROR(compile(init, non_tail()));
+    Resolution r;
+    if (resolve(name.sym, &r)) {
+      if (r.loop_idx >= 0) {
+        return err(Err::kState,
+                   "internal: loop name referenced outside a tail call");
+      }
+      emit(Op::kSetLocal, r.depth, r.slot);
+    } else {
+      emit(Op::kSetGlobal, static_cast<std::int32_t>(name.sym));
+    }
+    emit_const(Value::unspecified());
+    return Status::ok();
+  }
+
+  // params_form: list of symbols, possibly dotted, or a bare rest symbol.
+  Result<int> compile_lambda(Value params_form, Value body,
+                             const std::string& name) {
+    const int pidx = new_proto(name);
+    FuncCtx child;
+    child.proto_idx = pidx;
+    child.parent = ctx_;
+    FuncCtx* const saved = ctx_;
+    ctx_ = &child;
+    auto leave = [&]() { ctx_ = saved; };
+
+    Proto& p = *eng_.protos()[pidx];
+    ctx_->scopes.emplace_back();
+    Scope& scope = ctx_->scopes.back();
+    Value params = params_form;
+    if (params.is_sym()) {
+      p.has_rest = true;
+      bind_append(scope, params.sym);  // rest at slot 0
+    } else {
+      while (params.is_pair()) {
+        if (!params.cell->car.is_sym()) {
+          leave();
+          return err(Err::kInval, name.empty() ? "lambda: bad parameter"
+                                               : "define: bad parameter");
+        }
+        bind_append(scope, params.cell->car.sym);
+        ++p.nparams;
+        params = params.cell->cdr;
+      }
+      if (params.is_sym()) {
+        p.has_rest = true;
+        bind_append(scope, params.sym);  // rest at slot nparams
+      }
+    }
+
+    const std::uint32_t before = ctx_->next_slot;
+    prescan_defines(body, scope);
+    {
+      // Re-fetch: nested protos may have reallocated nothing (unique_ptr),
+      // but keep the access uniform through proto().
+      emit_init_reserved(before, ctx_->next_slot);
+    }
+    Status st = compile_body(body, Tail{true, 0});
+    if (st.is_ok()) emit(Op::kReturn);
+    proto().nslots = std::max(proto().nslots, ctx_->next_slot);
+    leave();
+    if (!st.is_ok()) return st;
+    return pidx;
+  }
+
+  Status compile_let(SymId s, Value expr, Value rest, Tail tail) {
+    Value first;
+    if (!list_get(rest, 0, &first)) return err(Err::kInval, "let");
+    if (s == s_let_ && first.is_sym()) {
+      return compile_named_let(expr, first.sym, rest, tail);
+    }
+    const Value body = rest.cell->cdr;
+
+    ctx_->scopes.emplace_back();
+    Scope& scope = ctx_->scopes.back();
+    auto pop_scope = [&]() { ctx_->scopes.pop_back(); };
+
+    if (s == s_let_) {
+      // Plain let: inits see the outer scope only; bindings appear all at
+      // once afterwards. Slots are pre-assigned with env_define's overwrite
+      // semantics so duplicate names collapse to one slot (later wins).
+      struct Pending {
+        SymId sym;
+        int slot;
+        Value init;
+      };
+      std::vector<Pending> pending;
+      scope.binds.clear();
+      // Hide the scope during init compilation by assigning slots first
+      // and binding names only after all stores.
+      std::vector<std::pair<SymId, int>> assigned;
+      for (Value b = first; b.is_pair(); b = b.cell->cdr) {
+        Value name, init;
+        if (!list_get(b.cell->car, 0, &name) || !name.is_sym()) {
+          pop_scope();
+          return err(Err::kInval, "let: bad binding");
+        }
+        if (!list_get(b.cell->car, 1, &init)) init = Value::unspecified();
+        int slot = -1;
+        for (const auto& [sym, sl] : assigned) {
+          if (sym == name.sym) slot = sl;
+        }
+        if (slot < 0) slot = new_slot();
+        assigned.emplace_back(name.sym, slot);
+        pending.push_back(Pending{name.sym, slot, init});
+      }
+      for (const Pending& pb : pending) {
+        Status st = compile(pb.init, non_tail());
+        if (!st.is_ok()) {
+          pop_scope();
+          return st;
+        }
+        emit(Op::kSetLocal, 0, pb.slot);
+      }
+      for (const auto& [sym, slot] : assigned) {
+        // Later duplicates shadow earlier ones: drop the earlier entry so
+        // the first-match scan finds the surviving binding.
+        for (Binding& bd : scope.binds) {
+          if (bd.sym == sym) bd.visible = false;
+        }
+        scope.binds.push_back(Binding{sym, slot, true, -1});
+      }
+    } else if (s == s_let_star_) {
+      for (Value b = first; b.is_pair(); b = b.cell->cdr) {
+        Value name, init;
+        if (!list_get(b.cell->car, 0, &name) || !name.is_sym()) {
+          pop_scope();
+          return err(Err::kInval, "let: bad binding");
+        }
+        if (!list_get(b.cell->car, 1, &init)) init = Value::unspecified();
+        Status st = compile(init, non_tail());
+        if (!st.is_ok()) {
+          pop_scope();
+          return st;
+        }
+        const int slot = bind_define(scope, name.sym);
+        emit(Op::kSetLocal, 0, slot);
+      }
+    } else {  // letrec
+      const std::uint32_t before = ctx_->next_slot;
+      for (Value b = first; b.is_pair(); b = b.cell->cdr) {
+        Value name;
+        if (!list_get(b.cell->car, 0, &name) || !name.is_sym()) {
+          pop_scope();
+          return err(Err::kInval, "letrec: bad binding");
+        }
+        bind_append(scope, name.sym);
+      }
+      emit_init_reserved(before, ctx_->next_slot);
+      for (Value b = first; b.is_pair(); b = b.cell->cdr) {
+        Value name, init;
+        if (!list_get(b.cell->car, 0, &name) || !name.is_sym()) {
+          pop_scope();
+          return err(Err::kInval, "let: bad binding");
+        }
+        if (!list_get(b.cell->car, 1, &init)) init = Value::unspecified();
+        Status st = compile(init, non_tail());
+        if (!st.is_ok()) {
+          pop_scope();
+          return st;
+        }
+        // env_set semantics: the first matching binding receives the value.
+        Resolution r;
+        resolve(name.sym, &r);
+        emit(Op::kSetLocal, r.depth, r.slot);
+      }
+    }
+
+    const std::uint32_t before_body = ctx_->next_slot;
+    prescan_defines(body, scope);
+    emit_init_reserved(before_body, ctx_->next_slot);
+    Status st = compile_body(body, tail);
+    pop_scope();
+    return st;
+  }
+
+  Status compile_named_let(Value expr, SymId name, Value rest, Tail tail) {
+    Value bindings;
+    if (!list_get(rest, 1, &bindings)) return err(Err::kInval, "let");
+    const Value body = rest.cell->cdr.cell->cdr;
+
+    std::vector<SymId> params;
+    std::vector<Value> inits;
+    for (Value b = bindings; b.is_pair(); b = b.cell->cdr) {
+      Value bname, init;
+      if (!list_get(b.cell->car, 0, &bname) || !bname.is_sym()) {
+        return err(Err::kInval, "named let: bad binding");
+      }
+      if (!list_get(b.cell->car, 1, &init)) init = Value::unspecified();
+      params.push_back(bname.sym);
+      inits.push_back(init);
+    }
+
+    if (named_let_qualifies(name, bindings, body)) {
+      return compile_loop(name, params, inits, body, tail);
+    }
+
+    // Fallback: desugar to a self-referencing closure, giving every
+    // iteration a fresh frame exactly as the interpreter does.
+    ctx_->scopes.emplace_back();
+    Scope& scope = ctx_->scopes.back();
+    const int slot = bind_append(scope, name);
+    auto fail = [&](Status st) {
+      ctx_->scopes.pop_back();
+      return st;
+    };
+
+    // Rebuild the parameter list for compile_lambda.
+    auto lambda = compile_lambda_from_params(params, body,
+                                             eng_.sym_name(name));
+    if (!lambda) return fail(lambda.status());
+    emit(Op::kMakeClosure, *lambda);
+    proto().frame_escapes = true;
+    emit(Op::kSetLocal, 0, slot);
+    emit(Op::kLocal, 0, slot);  // the operator of the initial call
+    // Inits evaluate in the outer environment: the loop name must not be
+    // visible to them (the interpreter binds it in a separate loop_env).
+    set_visible(scope, name, false);
+    for (const Value& init : inits) {
+      Status st = compile(init, non_tail());
+      if (!st.is_ok()) return fail(st);
+    }
+    set_visible(scope, name, true);
+    emit(tail.proto ? Op::kTailCall : Op::kCall,
+         static_cast<std::int32_t>(inits.size()), add_const(expr));
+    ctx_->scopes.pop_back();
+    return Status::ok();
+  }
+
+  // compile_lambda over an already-parsed parameter vector (named let).
+  Result<int> compile_lambda_from_params(const std::vector<SymId>& params,
+                                         Value body,
+                                         const std::string& name) {
+    const int pidx = new_proto(name);
+    FuncCtx child;
+    child.proto_idx = pidx;
+    child.parent = ctx_;
+    FuncCtx* const saved = ctx_;
+    ctx_ = &child;
+
+    Proto& p = *eng_.protos()[pidx];
+    ctx_->scopes.emplace_back();
+    Scope& scope = ctx_->scopes.back();
+    for (const SymId sym : params) {
+      bind_append(scope, sym);
+      ++p.nparams;
+    }
+    const std::uint32_t before = ctx_->next_slot;
+    prescan_defines(body, scope);
+    emit_init_reserved(before, ctx_->next_slot);
+    Status st = compile_body(body, Tail{true, 0});
+    if (st.is_ok()) emit(Op::kReturn);
+    proto().nslots = std::max(proto().nslots, ctx_->next_slot);
+    ctx_ = saved;
+    if (!st.is_ok()) return st;
+    return pidx;
+  }
+
+  Status compile_loop(SymId name, const std::vector<SymId>& params,
+                      const std::vector<Value>& inits, Value body,
+                      Tail tail) {
+    ctx_->scopes.emplace_back();
+    Scope& scope = ctx_->scopes.back();
+    auto fail = [&](Status st) {
+      ctx_->scopes.pop_back();
+      return st;
+    };
+
+    // Loop variables get fresh slots; inits evaluate in the outer scope
+    // (params are not yet visible) and store as they go — nothing can read
+    // the slots until the scope opens below.
+    std::vector<int> slots;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const int slot = new_slot();
+      slots.push_back(slot);
+      Status st = compile(inits[i], non_tail());
+      if (!st.is_ok()) return fail(st);
+      emit(Op::kSetLocal, 0, slot);
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      scope.binds.push_back(Binding{params[i], slots[i], true, -1});
+    }
+    const int loop_idx = static_cast<int>(ctx_->loops.size());
+    ctx_->loops.push_back(LoopInfo{name, slots, 0, true});
+    bind_loop(scope, name, loop_idx);
+
+    ctx_->loops[loop_idx].label = here();
+    const std::uint32_t before = ctx_->next_slot;
+    prescan_defines(body, scope);
+    emit_init_reserved(before, ctx_->next_slot);
+
+    const Tail body_tail{tail.proto, std::min(tail.loop_from, loop_idx)};
+    Status st = compile_body(body, body_tail);
+    ctx_->loops[loop_idx].active = false;
+    ctx_->scopes.pop_back();
+    return st;
+  }
+
+  Status compile_cond(Value rest, Tail tail) {
+    std::vector<int> ends;
+    for (Value clause = rest; clause.is_pair(); clause = clause.cell->cdr) {
+      Value head;
+      if (!list_get(clause.cell->car, 0, &head)) {
+        return err(Err::kInval, "cond: bad clause");
+      }
+      const Value body = clause.cell->car.cell->cdr;
+      if (head.is_sym() && head.sym == s_else_) {
+        if (!body.is_pair()) {
+          emit_const(Value::boolean(true));  // (cond (else)) yields #t
+        } else {
+          MV_RETURN_IF_ERROR(compile_body(body, tail));
+        }
+        ends.push_back(emit(Op::kJump));
+        continue;  // later clauses are dead code; still syntax-checked
+      }
+      MV_RETURN_IF_ERROR(compile(head, non_tail()));
+      emit(Op::kDup);
+      const int jf = emit(Op::kJumpIfFalse);
+      if (body.is_pair()) {
+        emit(Op::kPop);
+        MV_RETURN_IF_ERROR(compile_body(body, tail));
+      }
+      // else: (cond (x)) yields the test value, already on the stack.
+      ends.push_back(emit(Op::kJump));
+      patch(jf, here());
+      emit(Op::kPop);  // discard the test value on the false path
+    }
+    emit_const(Value::unspecified());  // no clause matched
+    for (const int j : ends) patch(j, here());
+    return Status::ok();
+  }
+
+  Status compile_case(Value rest, Tail tail) {
+    Value key;
+    if (!list_get(rest, 0, &key)) return err(Err::kInval, "case");
+    MV_RETURN_IF_ERROR(compile(key, non_tail()));
+    std::vector<int> ends;
+    for (Value clause = rest.cell->cdr; clause.is_pair();
+         clause = clause.cell->cdr) {
+      Value data;
+      if (!list_get(clause.cell->car, 0, &data)) {
+        return err(Err::kInval, "case: bad clause");
+      }
+      const Value body = clause.cell->car.cell->cdr;
+      if (data.is_sym() && data.sym == s_else_) {
+        emit(Op::kPop);  // the key
+        MV_RETURN_IF_ERROR(compile_body(body, tail));
+        ends.push_back(emit(Op::kJump));
+        continue;
+      }
+      emit(Op::kCaseMatch, add_const(data));
+      const int jf = emit(Op::kJumpIfFalse);
+      emit(Op::kPop);  // the key
+      MV_RETURN_IF_ERROR(compile_body(body, tail));
+      ends.push_back(emit(Op::kJump));
+      patch(jf, here());
+    }
+    emit(Op::kPop);  // no clause matched: discard the key
+    emit_const(Value::unspecified());
+    for (const int j : ends) patch(j, here());
+    return Status::ok();
+  }
+
+  Status compile_and_or(SymId s, Value rest, Tail tail) {
+    if (!rest.is_pair()) {
+      emit_const(Value::boolean(s == s_and_));
+      return Status::ok();
+    }
+    std::vector<int> ends;
+    Value cur = rest;
+    while (cur.cell->cdr.is_pair()) {
+      MV_RETURN_IF_ERROR(compile(cur.cell->car, non_tail()));
+      emit(Op::kDup);
+      ends.push_back(emit(s == s_and_ ? Op::kJumpIfFalse : Op::kJumpIfTrue));
+      emit(Op::kPop);
+      cur = cur.cell->cdr;
+    }
+    MV_RETURN_IF_ERROR(compile(cur.cell->car, tail));
+    for (const int j : ends) patch(j, here());
+    return Status::ok();
+  }
+
+  Status compile_when_unless(SymId s, Value rest, Tail tail) {
+    Value test;
+    if (!list_get(rest, 0, &test)) return err(Err::kInval, "when/unless");
+    MV_RETURN_IF_ERROR(compile(test, non_tail()));
+    const int skip =
+        emit(s == s_when_ ? Op::kJumpIfFalse : Op::kJumpIfTrue);
+    MV_RETURN_IF_ERROR(compile_body(rest.cell->cdr, tail));
+    const int jend = emit(Op::kJump);
+    patch(skip, here());
+    emit_const(Value::unspecified());
+    patch(jend, here());
+    return Status::ok();
+  }
+
+  Status compile_do(Value rest, Tail tail) {
+    Value bindings, exit_clause;
+    if (!list_get(rest, 0, &bindings) || !list_get(rest, 1, &exit_clause)) {
+      return err(Err::kInval, "do: malformed");
+    }
+    Value test;
+    if (!list_get(exit_clause, 0, &test)) {
+      return err(Err::kInval, "do: bad exit clause");
+    }
+
+    ctx_->scopes.emplace_back();
+    Scope& scope = ctx_->scopes.back();
+    auto fail = [&](Status st) {
+      ctx_->scopes.pop_back();
+      return st;
+    };
+
+    // do variables mirror the interpreter's emplace_back (duplicates get
+    // their own binding; the first wins on lookup and step assignment).
+    struct DoVar {
+      SymId sym;
+      int slot;
+      Value step;
+      bool has_step;
+    };
+    std::vector<DoVar> vars;
+    for (Value b = bindings; b.is_pair(); b = b.cell->cdr) {
+      Value name, init, step;
+      if (!list_get(b.cell->car, 0, &name) || !name.is_sym()) {
+        return fail(err(Err::kInval, "do: bad binding"));
+      }
+      if (!list_get(b.cell->car, 1, &init)) init = Value::unspecified();
+      const bool has_step = list_get(b.cell->car, 2, &step);
+      const int slot = new_slot();
+      // Inits evaluate in the outer env (the scope binds names below).
+      Status st = compile(init, non_tail());
+      if (!st.is_ok()) return fail(st);
+      emit(Op::kSetLocal, 0, slot);
+      vars.push_back(DoVar{name.sym, slot, step, has_step});
+    }
+    for (const DoVar& v : vars) {
+      scope.binds.push_back(Binding{v.sym, v.slot, true, -1});
+    }
+
+    const Value body = rest.cell->cdr.cell->cdr;
+    const std::uint32_t before = ctx_->next_slot;
+    prescan_defines(body, scope);
+
+    const int ltop = here();
+    emit_init_reserved(before, ctx_->next_slot);
+    Status st = compile(test, non_tail());
+    if (!st.is_ok()) return fail(st);
+    const int jexit = emit(Op::kJumpIfTrue);
+    for (Value b = body; b.is_pair(); b = b.cell->cdr) {
+      st = compile(b.cell->car, non_tail());
+      if (!st.is_ok()) return fail(st);
+      emit(Op::kPop);
+    }
+    // Steps: evaluate all, then assign simultaneously (reverse pop order
+    // matches positions because each stepped var stores to its own slot).
+    std::vector<const DoVar*> stepped;
+    for (const DoVar& v : vars) {
+      if (!v.has_step) continue;
+      st = compile(v.step, non_tail());
+      if (!st.is_ok()) return fail(st);
+      stepped.push_back(&v);
+    }
+    for (std::size_t i = stepped.size(); i-- > 0;) {
+      // env_set semantics: duplicates assign to the first matching binding.
+      Resolution r;
+      resolve(stepped[i]->sym, &r);
+      emit(Op::kSetLocal, r.depth, r.slot);
+    }
+    emit(Op::kJump, ltop);
+    patch(jexit, here());
+    const Value results = exit_clause.cell->cdr;
+    if (!results.is_pair()) {
+      emit_const(Value::unspecified());
+    } else {
+      st = compile_body(results, tail);
+      if (!st.is_ok()) return fail(st);
+    }
+    ctx_->scopes.pop_back();
+    return Status::ok();
+  }
+
+  // Quasiquote templates compile to cons-rebuilding code mirroring
+  // eval_quasiquote: the spine is fresh-consed, leaves are shared consts,
+  // unquotes at depth 1 compile as ordinary (non-tail) expressions.
+  Status compile_quasiquote(Value tmpl, int depth) {
+    if (!tmpl.is_pair()) {
+      emit_const(tmpl);
+      return Status::ok();
+    }
+    const Value head = tmpl.cell->car;
+    const Value tail_v = tmpl.cell->cdr;
+    if (head.is_sym() && head.sym == s_unquote_ && tail_v.is_pair()) {
+      if (depth == 1) return compile(tail_v.cell->car, non_tail());
+      emit_const(head);
+      MV_RETURN_IF_ERROR(compile_quasiquote(tail_v.cell->car, depth - 1));
+      emit_const(Value::nil());
+      emit(Op::kCons);
+      emit(Op::kCons);
+      return Status::ok();
+    }
+    if (head.is_sym() && head.sym == s_quasiquote_ && tail_v.is_pair()) {
+      emit_const(head);
+      MV_RETURN_IF_ERROR(compile_quasiquote(tail_v.cell->car, depth + 1));
+      emit_const(Value::nil());
+      emit(Op::kCons);
+      emit(Op::kCons);
+      return Status::ok();
+    }
+    MV_RETURN_IF_ERROR(compile_quasiquote(head, depth));
+    MV_RETURN_IF_ERROR(compile_quasiquote(tail_v, depth));
+    emit(Op::kCons);
+    return Status::ok();
+  }
+
+  Status compile_application(Value expr, Value op, Value rest, Tail tail) {
+    // Jump-compiled loop call?
+    if (op.is_sym()) {
+      Resolution r;
+      if (resolve(op.sym, &r) && r.loop_idx >= 0) {
+        // Copy out of the loops vector: compiling a nested named let below
+        // appends to it and would invalidate a reference.
+        const LoopInfo loop = ctx_->loops[static_cast<std::size_t>(r.loop_idx)];
+        if (!loop.active || r.loop_idx < tail.loop_from) {
+          return err(Err::kState,
+                     "internal: loop name referenced outside a tail call");
+        }
+        int argc = 0;
+        for (Value a = rest; a.is_pair(); a = a.cell->cdr) ++argc;
+        if (argc != static_cast<int>(loop.arg_slots.size())) {
+          return err(Err::kState,
+                     "internal: loop name referenced outside a tail call");
+        }
+        for (Value a = rest; a.is_pair(); a = a.cell->cdr) {
+          MV_RETURN_IF_ERROR(compile(a.cell->car, non_tail()));
+        }
+        // Simultaneous rebinding: all argument values are on the stack, so
+        // the reverse-order stores assign each to its distinct slot.
+        for (std::size_t i = loop.arg_slots.size(); i-- > 0;) {
+          emit(Op::kSetLocal, 0, loop.arg_slots[i]);
+        }
+        emit(Op::kJump, loop.label);
+        // The jump never falls through; enclosing merge points treat this
+        // path as dead.
+        return Status::ok();
+      }
+    }
+    MV_RETURN_IF_ERROR(compile(op, non_tail()));
+    int argc = 0;
+    for (Value a = rest; !a.is_nil(); a = a.cell->cdr) {
+      if (!a.is_pair()) return err(Err::kInval, "improper argument list");
+      MV_RETURN_IF_ERROR(compile(a.cell->car, non_tail()));
+      ++argc;
+    }
+    emit(tail.proto ? Op::kTailCall : Op::kCall, argc, add_const(expr));
+    return Status::ok();
+  }
+};
+
+}  // namespace
+
+Result<int> compile_toplevel(Engine& engine, Value form) {
+  Compiler compiler(engine);
+  return compiler.toplevel(form);
+}
+
+}  // namespace mv::scheme

@@ -1,0 +1,72 @@
+#pragma once
+
+// The Vessel bytecode compiler: lowers the reader's s-expressions to a
+// flat instruction stream with lexical-address variable slots, executed by
+// the VM in vm.cpp. The tree-walking evaluator (eval.cpp) stays as the
+// reference implementation; byte-identical output between the two engines
+// is the correctness invariant (see DESIGN.md §13).
+//
+// Layout model: exactly one environment level per function activation. All
+// let/let*/letrec/do contours flatten into slots of the enclosing function
+// frame (nslots is the high-water mark; slots are not reused), so kLocal's
+// depth operand counts lambda-boundary hops only. Named lets whose name is
+// only ever tail-called and whose body creates no closures compile to
+// in-frame jumps; everything else falls back to a real closure, which
+// reproduces the interpreter's per-iteration frame freshness.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/scheme/value.hpp"
+#include "support/result.hpp"
+
+namespace mv::scheme {
+
+class Engine;
+
+enum class Op : std::uint8_t {
+  kConst,        // push consts[a]
+  kLocal,        // push env chain[depth a].slot[b]
+  kSetLocal,     // pop -> env chain[depth a].slot[b] (pushes nothing)
+  kGlobal,       // push globals[sym a]; unbound -> error
+  kSetGlobal,    // pop -> globals[sym a]; unbound -> error
+  kDefGlobal,    // pop -> globals[sym a] (define semantics)
+  kPop,          // drop TOS
+  kDup,          // duplicate TOS
+  kJump,         // ip = a
+  kJumpIfFalse,  // pop; if #f -> ip = a
+  kJumpIfTrue,   // pop; if not #f -> ip = a
+  kMakeClosure,  // push new closure over protos[a], capturing current frame
+  kCall,         // a = nargs, b = const index of source expr (error text)
+  kTailCall,     // like kCall but replaces the current frame
+  kReturn,       // pop frame, push result in caller
+  kCons,         // pop cdr, pop car, push (car . cdr) — engine-level cons
+  kInitSlots,    // slots [a, a+b) of the current frame := unspecified
+  kNameIfAnon,   // if TOS is an unnamed closure, name it sym a
+  kCaseMatch,    // peek key at TOS; push whether it is eqv? to any datum
+                 // in the list consts[a]
+};
+
+struct Insn {
+  Op op;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+};
+
+struct Proto {
+  std::string name;           // procedure name ("" = anonymous)
+  std::vector<Insn> code;
+  std::vector<Value> consts;  // literals + call-site exprs; GC-visited
+  std::uint32_t nparams = 0;
+  bool has_rest = false;      // rest list bound at slot nparams
+  std::uint32_t nslots = 0;   // frame width incl. params and flat contours
+  bool frame_escapes = false; // a closure captures this frame -> unpoolable
+};
+
+// Compiles one toplevel form, appending its proto (and any nested lambda
+// protos) to the engine's proto table; returns the toplevel proto's index.
+Result<int> compile_toplevel(Engine& engine, Value form);
+
+}  // namespace mv::scheme

@@ -1,5 +1,6 @@
 #include "runtime/scheme/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/log.hpp"
@@ -81,8 +82,25 @@ Status Engine::init() {
     for (const auto& [sym, v] : globals_) visit(v);
     for (const auto& [id, v] : thread_thunks_) visit(v);
     if (global_env_ != nullptr) visit(Value::from_cell(global_env_));
+    // Bytecode engine roots: compiled literals plus every live VM
+    // context's operand stack and frame chain.
+    for (const auto& proto : protos_) {
+      for (const Value& c : proto->consts) visit(c);
+    }
+    for (const auto& [fiber, ctx] : vm_contexts_) {
+      for (const Value& v : ctx->stack) visit(v);
+      for (const VmFrame& fr : ctx->frames) {
+        if (fr.env != nullptr) visit(Value::from_cell(fr.env));
+        if (fr.closure != nullptr) visit(Value::from_cell(fr.closure));
+      }
+    }
   });
   MV_ASSIGN_OR_RETURN(global_env_, make_env(nullptr));
+  // Tick cadence in VM instructions, scaled so both engines tick every
+  // tick_every_evals * eval_cycles guest cycles.
+  vm_tick_every_ = std::max<std::uint64_t>(
+      1, config_.tick_every_evals * config_.eval_cycles /
+             std::max<std::uint64_t>(1, config_.vm_insn_cycles));
 
   register_builtins();
 
@@ -489,7 +507,7 @@ Result<Value> Engine::eval_string(const std::string& src) {
   // forms k+1..n.
   for (const Value& form : forms) scope.add(form);
   for (const Value& form : forms) {
-    MV_ASSIGN_OR_RETURN(result, eval(form, global_env_));
+    MV_ASSIGN_OR_RETURN(result, eval_toplevel(form));
   }
   return result;
 }
@@ -535,13 +553,13 @@ int Engine::repl() {
 }
 
 int vessel_main(ros::SysIface& sys, const std::string& batch_source,
-                bool use_launcher_thread) {
+                bool use_launcher_thread, const Engine::Config& config) {
   // "Our port of Racket takes the form of an instance of the Racket engine
   // embedded into a simple C program... The C program launches a pthread
   // that in turn starts the engine."
   int exit_code = 0;
-  auto engine_body = [&exit_code, &batch_source](ros::SysIface& tsys) {
-    Engine engine(tsys);
+  auto engine_body = [&exit_code, &batch_source, &config](ros::SysIface& tsys) {
+    Engine engine(tsys, config);
     const Status up = engine.init();
     if (!up.is_ok()) {
       (void)tsys.write_str(2, "vessel: init failed: " + up.to_string() + "\n");

@@ -9,24 +9,40 @@
 // Virtual, and Multiverse (HRT) configurations.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ros/guest.hpp"
+#include "runtime/scheme/compile.hpp"
 #include "runtime/scheme/gc.hpp"
 #include "runtime/scheme/reader.hpp"
 #include "runtime/scheme/value.hpp"
+#include "runtime/scheme/vm.hpp"
 #include "support/result.hpp"
 
 namespace mv::scheme {
 
 class Engine {
  public:
+  // Which execution engine runs toplevel forms. The tree-walking
+  // interpreter is the reference semantics; the bytecode VM must produce
+  // byte-identical output (enforced by the twin-run tests).
+  enum class Exec {
+    kInterpreter,
+    kBytecodeVm,
+  };
+
   struct Config {
     Heap::Config heap;
+    Exec exec = Exec::kInterpreter;
     // Guest compute charged per evaluator step (batched).
     std::uint64_t eval_cycles = 150;
+    // Guest compute charged per VM instruction. VM instruction counts track
+    // interpreter step counts roughly 1:1 over the fig13 suite, so the
+    // eval_cycles/vm_insn_cycles ratio is the modeled speedup.
+    std::uint64_t vm_insn_cycles = 35;
     // The runtime's cooperative scheduler tick: every N evaluator steps the
     // engine polls for events and checks timers (Racket's thread scheduler
     // does the same; this produces Fig 12's poll/getrusage/timer traffic).
@@ -45,6 +61,9 @@ class Engine {
 
   // --- evaluation --------------------------------------------------------
   Result<Value> eval(Value expr, Cell* env);
+  // Evaluate one toplevel form through the configured engine (interpreter
+  // or compile + VM).
+  Result<Value> eval_toplevel(Value form);
   // Non-tail application (used by apply/map and embedding code).
   Result<Value> apply_value(Value fn, std::vector<Value>& args);
   // Evaluate all forms; returns the last result.
@@ -113,6 +132,14 @@ class Engine {
   [[nodiscard]] std::uint64_t eval_steps() const noexcept { return evals_; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] Cell* globals_env() noexcept { return global_env_; }
+  // Proto table for the bytecode compiler/VM. unique_ptr elements keep
+  // Proto addresses stable across nested compilation (a `load` during VM
+  // execution appends protos while frames hold pointers into the table).
+  [[nodiscard]] std::vector<std::unique_ptr<Proto>>& protos() noexcept {
+    return protos_;
+  }
+  // Deepest frame chain any VM context has reached (tail-call tests).
+  [[nodiscard]] std::uint64_t vm_max_frame_depth() const noexcept;
 
  private:
   friend class Reader;
@@ -122,6 +149,16 @@ class Engine {
   Status eval_prelude();
   void tick();                        // scheduler tick (poll/getrusage)
   void count_step();
+  void count_vm_step();               // per-instruction accounting (vm.cpp)
+
+  // Bytecode VM internals (vm.cpp).
+  VmContext& current_vm_context();
+  Result<Value> vm_run(VmContext& ctx, std::size_t frame_floor);
+  Result<Value> run_toplevel_proto(int proto_idx);
+  Result<Value> vm_apply(Value fn, std::vector<Value>& args);
+  // Call setup shared by kCall dispatch and vm_apply: the operand stack
+  // holds [closure, arg0..argN-1]; replaces them with a new frame record.
+  Status vm_push_call(VmContext& ctx, std::size_t nargs);
 
   // Evaluator internals (eval.cpp).
   Result<Value> eval_quasiquote(Value tmpl, Cell* env, int depth);
@@ -151,6 +188,17 @@ class Engine {
   std::uint64_t ticks_ = 0;
   bool initialized_ = false;
 
+  // Bytecode engine state. One VmContext per fiber (interpreter threads
+  // interleave at syscall block points), same discipline as the heap's
+  // per-fiber shadow root stacks.
+  std::vector<std::unique_ptr<Proto>> protos_;
+  std::vector<std::pair<const Fiber*, std::unique_ptr<VmContext>>>
+      vm_contexts_;
+  // Tick cadence in VM instructions, scaled so wall-clock poll/timer
+  // traffic matches the interpreter's (tick_every_evals * eval_cycles
+  // guest cycles between ticks in both engines).
+  std::uint64_t vm_tick_every_ = 1;
+
   // Cached special-form symbols.
   SymId s_quote_, s_if_, s_define_, s_set_, s_lambda_, s_begin_, s_let_,
       s_let_star_, s_letrec_, s_cond_, s_case_, s_else_, s_and_, s_or_,
@@ -163,6 +211,7 @@ class Engine {
 // program ... launches a pthread that in turn starts the engine"), runnable
 // as REPL (no args) or batch (program text).
 int vessel_main(ros::SysIface& sys, const std::string& batch_source,
-                bool use_launcher_thread = true);
+                bool use_launcher_thread = true,
+                const Engine::Config& config = {});
 
 }  // namespace mv::scheme

@@ -175,6 +175,47 @@ Result<Cell*> Heap::alloc(Cell::Type type) {
   return cell;
 }
 
+int Heap::pool_class(std::size_t slots) {
+  if (slots <= 8) return 0;
+  if (slots <= 16) return 1;
+  if (slots <= 32) return 2;
+  if (slots <= 64) return 3;
+  return -1;
+}
+
+Result<Cell*> Heap::alloc_env_frame(std::size_t slots) {
+  const int cls = pool_class(slots);
+  if (cls >= 0 && !env_pools_[cls].empty()) {
+    // Pool hit: no allocation pressure, no trigger advance — this is the
+    // mechanism that drops fannkuch's collection count to the paper's shape.
+    Cell* frame = env_pools_[cls].back();
+    env_pools_[cls].pop_back();
+    frame->type = Cell::Type::kEnv;
+    ++stats_.env_reuses;
+    ++stats_.live_cells;
+    return frame;
+  }
+  // Pool miss (or oversized frame): a normal allocation, so the trigger
+  // keeps advancing and the collector still runs when real garbage builds.
+  return alloc(Cell::Type::kEnv);
+}
+
+void Heap::recycle_env_frame(Cell* frame) {
+  const int cls = pool_class(frame->vec.size());
+  if (cls < 0) return;  // oversized: let the collector take it
+  frame->reset();
+  frame->type = Cell::Type::kFree;
+  ++stats_.env_recycles;
+  --stats_.live_cells;
+  env_pools_[cls].push_back(frame);
+}
+
+void Heap::drain_env_pools() {
+  // Pooled frames are already kFree with live counts given back; the sweep
+  // will route them to the chunk free lists without counting them as swept.
+  for (auto& pool : env_pools_) pool.clear();
+}
+
 void Heap::write_barrier(Cell* cell) {
   Chunk* chunk = chunk_of(cell);
   if (chunk == nullptr || !chunk->protected_) return;
@@ -218,6 +259,10 @@ void Heap::collect() {
   in_gc_ = true;
   ++stats_.collections;
   since_gc_ = 0;
+  // Pooled frames are dead cells parked outside the chunk free lists; hand
+  // them back before marking so the sweep re-files them (they are kFree, so
+  // they are not counted as swept garbage).
+  drain_env_pools();
 
   // Mark. Every fiber's shadow stack is a root set: suspended interpreter
   // threads hold live temporaries too.

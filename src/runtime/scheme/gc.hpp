@@ -37,6 +37,10 @@ struct GcStats {
   std::uint64_t chunks_unmapped = 0;
   std::uint64_t barrier_hits = 0;
   std::uint64_t live_cells = 0;
+  // Env-frame pool traffic (bytecode VM): recycled frames never count
+  // against the allocation trigger, which is what cuts collections.
+  std::uint64_t env_reuses = 0;
+  std::uint64_t env_recycles = 0;
 };
 
 class Heap {
@@ -67,6 +71,15 @@ class Heap {
   // Allocate a cell of the given type. May trigger a collection first; all
   // live data must be reachable from the registered roots.
   Result<Cell*> alloc(Cell::Type type);
+
+  // --- env-frame pooling ---------------------------------------------------
+  // Size-class pools of kEnv cells used by the bytecode VM for call frames.
+  // A pooled allocation bypasses the GC trigger (no allocation pressure);
+  // when the right class is empty it falls back to a normal alloc. Frames
+  // whose proto never captures them (no closure escapes) are recycled on
+  // return instead of becoming garbage.
+  Result<Cell*> alloc_env_frame(std::size_t slots);
+  void recycle_env_frame(Cell* frame);
 
   // --- root management -----------------------------------------------------
   // The shadow stack: evaluator frames push temporaries that must survive
@@ -132,6 +145,11 @@ class Heap {
     return config_.chunk_bytes / config_.cell_bytes;
   }
   Chunk* chunk_of(const Cell* cell);
+  // Pool class for a frame of `slots` slots, or -1 if unpooled (too big).
+  static int pool_class(std::size_t slots);
+  // Return every pooled frame to the allocator ahead of a mark phase (the
+  // pool holds dead cells which must not survive as kEnv through a sweep).
+  void drain_env_pools();
 
   ros::SysIface* sys_;
   Config config_;
@@ -143,6 +161,8 @@ class Heap {
   std::function<void(const RootVisitor&)> extra_marker_;
   SysProvider sys_provider_;
   std::uint64_t since_gc_ = 0;
+  // Size classes: <=8, <=16, <=32, <=64 slots. Larger frames are unpooled.
+  std::vector<Cell*> env_pools_[4];
   GcStats stats_;
   bool in_gc_ = false;
   bool initialized_ = false;

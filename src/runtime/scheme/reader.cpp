@@ -1,6 +1,7 @@
 #include "runtime/scheme/reader.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "runtime/scheme/engine.hpp"
@@ -23,6 +24,7 @@ Result<Reader::Token> Reader::next_token(const std::string& src,
       continue;
     }
     if (*pos + 1 < n && src[*pos] == '#' && src[*pos + 1] == '|') {
+      const std::size_t open_line = *line;
       *pos += 2;
       int depth = 1;
       while (*pos + 1 < n && depth > 0) {
@@ -36,6 +38,12 @@ Result<Reader::Token> Reader::next_token(const std::string& src,
           if (src[*pos] == '\n') ++*line;
           ++*pos;
         }
+      }
+      if (depth > 0) {
+        *pos = n;  // do not rescan the comment tail as an atom
+        return err(Err::kParse,
+                   strfmt("unterminated block comment opened at line %zu",
+                          open_line));
       }
       continue;
     }
@@ -159,8 +167,14 @@ Result<Value> Reader::atom_to_value(const std::string& text) {
       const double d = std::strtod(text.c_str(), &end);
       if (end == text.c_str() + text.size()) return Value::real(d);
     } else {
+      errno = 0;
       const long long i = std::strtoll(text.c_str(), &end, 10);
       if (end == text.c_str() + text.size()) {
+        // strtoll clamps to LLONG_MIN/MAX on overflow; surface the bad
+        // literal instead of silently reading a different number.
+        if (errno == ERANGE) {
+          return err(Err::kParse, "integer literal overflow: " + text);
+        }
         return Value::integer(static_cast<std::int64_t>(i));
       }
     }
@@ -182,8 +196,15 @@ Result<Value> Reader::parse_list(const std::string& src, std::size_t* pos,
     }
     if (tok.kind == Token::Kind::kRParen) break;
     if (tok.kind == Token::Kind::kDot) {
+      if (items.empty()) {
+        return err(Err::kParse,
+                   strfmt("dotted pair without car at line %zu", tok.line));
+      }
       MV_ASSIGN_OR_RETURN(tail, parse(src, pos, line));
       scope.add(tail);
+      if (tail.tag == Value::Tag::kEof) {
+        return err(Err::kParse, "unexpected end of input after .");
+      }
       MV_ASSIGN_OR_RETURN(const Token close, next_token(src, pos, line));
       if (close.kind != Token::Kind::kRParen) {
         return err(Err::kParse, "expected ) after dotted tail");
@@ -205,6 +226,18 @@ Result<Value> Reader::parse_list(const std::string& src, std::size_t* pos,
 
 Result<Value> Reader::parse(const std::string& src, std::size_t* pos,
                             std::size_t* line) {
+  // Each nesting level costs one host C++ frame (parse -> parse_list ->
+  // parse); cap it so pathological input errors instead of overflowing the
+  // host stack.
+  constexpr int kMaxDepth = 2048;
+  if (depth_ >= kMaxDepth) {
+    return err(Err::kParse, "expression nesting too deep");
+  }
+  ++depth_;
+  struct DepthGuard {
+    int* d;
+    ~DepthGuard() { --*d; }
+  } guard{&depth_};
   MV_ASSIGN_OR_RETURN(const Token tok, next_token(src, pos, line));
   switch (tok.kind) {
     case Token::Kind::kEof:
@@ -218,12 +251,16 @@ Result<Value> Reader::parse(const std::string& src, std::size_t* pos,
     case Token::Kind::kQuote:
     case Token::Kind::kQuasiquote:
     case Token::Kind::kUnquote: {
-      MV_ASSIGN_OR_RETURN(const Value inner, parse(src, pos, line));
-      RootScope scope(engine_->heap());
-      scope.add(inner);
       const char* name = tok.kind == Token::Kind::kQuote ? "quote"
                          : tok.kind == Token::Kind::kQuasiquote ? "quasiquote"
                                                                 : "unquote";
+      MV_ASSIGN_OR_RETURN(const Value inner, parse(src, pos, line));
+      if (inner.tag == Value::Tag::kEof) {
+        return err(Err::kParse,
+                   std::string("unexpected end of input after ") + name);
+      }
+      RootScope scope(engine_->heap());
+      scope.add(inner);
       MV_ASSIGN_OR_RETURN(const Value rest, engine_->cons(inner, Value::nil()));
       scope.add(rest);
       return engine_->cons(Value::symbol(engine_->intern(name)), rest);

@@ -56,6 +56,9 @@ class Reader {
   Result<Value> atom_to_value(const std::string& text);
 
   Engine* engine_;
+  // Active parse() recursion depth; bounds host-stack use on pathological
+  // nesting like ((((...)))).
+  int depth_ = 0;
 };
 
 }  // namespace mv::scheme

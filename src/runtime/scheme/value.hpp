@@ -147,6 +147,7 @@ class Cell {
   Value body;             // list of body expressions
   Cell* closure_env = nullptr;
   std::string proc_name;  // for error messages
+  std::int32_t proto_idx = -1;  // >= 0: bytecode closure (index into Engine protos)
   // --- builtin ---
   BuiltinFn builtin;
   // --- environment ---
@@ -165,6 +166,7 @@ class Cell {
     body = Value{};
     closure_env = nullptr;
     proc_name.clear();
+    proto_idx = -1;
     builtin = nullptr;
     bindings.clear();
     parent_env = nullptr;

@@ -1,0 +1,420 @@
+#include "runtime/scheme/vm.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "runtime/scheme/engine.hpp"
+#include "support/strings.hpp"
+
+// The Vessel bytecode VM dispatch loop. GC discipline: the operand stack
+// and every frame's env/closure cell are roots (marked through the engine's
+// extra_root_marker), so values are safe exactly while they are on the
+// stack or in frame slots. Every allocation point below keeps its operands
+// in one of those two places (or in an explicit RootScope) until the new
+// cell is reachable.
+
+namespace mv::scheme {
+
+VmContext& Engine::current_vm_context() {
+  const Fiber* fiber = Fiber::current();
+  for (auto& [f, ctx] : vm_contexts_) {
+    if (f == fiber) return *ctx;
+  }
+  vm_contexts_.emplace_back(fiber, std::make_unique<VmContext>());
+  return *vm_contexts_.back().second;
+}
+
+std::uint64_t Engine::vm_max_frame_depth() const noexcept {
+  std::uint64_t max_depth = 0;
+  for (const auto& [f, ctx] : vm_contexts_) {
+    if (ctx->max_frames_depth > max_depth) max_depth = ctx->max_frames_depth;
+  }
+  return max_depth;
+}
+
+// Per-instruction accounting. Charge batching uses the same 64-step
+// threshold as count_step so syscall-visible charge_user calls batch the
+// same way; the tick cadence is scaled (vm_tick_every_) so wall-clock
+// poll/getrusage/timer traffic matches the interpreter's.
+void Engine::count_vm_step() {
+  ++evals_;
+  pending_charge_ += config_.vm_insn_cycles;
+  if (pending_charge_ >= 64 * config_.eval_cycles) {
+    sys().charge_user(pending_charge_);
+    pending_charge_ = 0;
+  }
+  if (evals_ >= next_tick_) {
+    next_tick_ = evals_ + vm_tick_every_;
+    tick();
+  }
+}
+
+Result<Value> Engine::eval_toplevel(Value form) {
+  if (config_.exec != Exec::kBytecodeVm) return eval(form, global_env_);
+  MV_ASSIGN_OR_RETURN(const int idx, compile_toplevel(*this, form));
+  return run_toplevel_proto(idx);
+}
+
+Status Engine::vm_push_call(VmContext& ctx, std::size_t nargs) {
+  const std::size_t fnpos = ctx.stack.size() - nargs - 1;
+  Cell* const cl = ctx.stack[fnpos].cell;
+  const Proto* const proto =
+      protos_[static_cast<std::size_t>(cl->proto_idx)].get();
+  const std::size_t fixed = proto->nparams;
+  if (nargs < fixed || (!proto->has_rest && nargs > fixed)) {
+    return err(Err::kInval,
+               strfmt("%s: expected %zu argument(s), got %zu",
+                      cl->proc_name.empty() ? "procedure"
+                                            : cl->proc_name.c_str(),
+                      fixed, nargs));
+  }
+  // Allocation is safe: cl and the args are still on the operand stack.
+  MV_ASSIGN_OR_RETURN(Cell* const frame,
+                      heap_.alloc_env_frame(proto->nslots));
+  frame->vec.assign(proto->nslots, Value{});
+  frame->parent_env = cl->closure_env;
+  heap_.write_barrier(frame);
+  for (std::size_t i = 0; i < fixed; ++i) {
+    frame->vec[i] = ctx.stack[fnpos + 1 + i];
+  }
+  if (proto->has_rest) {
+    RootScope scope(heap_);
+    scope.add(Value::from_cell(frame));
+    Value rest = Value::nil();
+    for (std::size_t i = nargs; i-- > fixed;) {
+      scope.add(rest);
+      MV_ASSIGN_OR_RETURN(rest, cons(ctx.stack[fnpos + 1 + i], rest));
+    }
+    frame->vec[fixed] = rest;
+  }
+  ctx.stack.resize(fnpos);
+  VmFrame fr;
+  fr.proto = proto;
+  fr.env = frame;
+  fr.closure = cl;
+  fr.ip = 0;
+  fr.stack_base = fnpos;
+  fr.poolable = !proto->frame_escapes;
+  ctx.frames.push_back(fr);
+  if (ctx.frames.size() > ctx.max_frames_depth) {
+    ctx.max_frames_depth = ctx.frames.size();
+  }
+  return Status::ok();
+}
+
+Result<Value> Engine::vm_run(VmContext& ctx, std::size_t frame_floor) {
+  std::vector<Value>& stack = ctx.stack;
+
+  // Pop the current frame, recycling its env when poolable (a non-escaping
+  // frame is unreachable once its VmFrame record is gone). Returns true
+  // when the floor frame returned; `out` then carries the final result.
+  const auto do_return = [&](Value result, Value* out) -> bool {
+    const VmFrame fr = ctx.frames.back();
+    ctx.frames.pop_back();
+    if (fr.poolable) heap_.recycle_env_frame(fr.env);
+    stack.resize(fr.stack_base);
+    if (ctx.frames.size() == frame_floor) {
+      *out = result;
+      return true;
+    }
+    stack.push_back(result);
+    return false;
+  };
+
+  for (;;) {
+    VmFrame& fr = ctx.frames.back();
+    const Insn insn = fr.proto->code[fr.ip++];
+    count_vm_step();
+
+    switch (insn.op) {
+      case Op::kConst:
+        stack.push_back(fr.proto->consts[static_cast<std::size_t>(insn.a)]);
+        break;
+
+      case Op::kLocal: {
+        Cell* e = fr.env;
+        for (std::int32_t d = 0; d < insn.a; ++d) e = e->parent_env;
+        stack.push_back(e->vec[static_cast<std::size_t>(insn.b)]);
+        break;
+      }
+
+      case Op::kSetLocal: {
+        Cell* e = fr.env;
+        for (std::int32_t d = 0; d < insn.a; ++d) e = e->parent_env;
+        e->vec[static_cast<std::size_t>(insn.b)] = stack.back();
+        stack.pop_back();
+        heap_.write_barrier(e);
+        break;
+      }
+
+      case Op::kGlobal: {
+        const auto it = globals_.find(static_cast<SymId>(insn.a));
+        if (it == globals_.end()) {
+          return err(Err::kNoEnt, "unbound variable: " +
+                                      sym_name(static_cast<SymId>(insn.a)));
+        }
+        stack.push_back(it->second);
+        break;
+      }
+
+      case Op::kSetGlobal: {
+        const auto it = globals_.find(static_cast<SymId>(insn.a));
+        if (it == globals_.end()) {
+          return err(Err::kNoEnt, "set!: unbound variable " +
+                                      sym_name(static_cast<SymId>(insn.a)));
+        }
+        it->second = stack.back();
+        stack.pop_back();
+        break;
+      }
+
+      case Op::kDefGlobal:
+        globals_[static_cast<SymId>(insn.a)] = stack.back();
+        stack.pop_back();
+        break;
+
+      case Op::kPop:
+        stack.pop_back();
+        break;
+
+      case Op::kDup:
+        stack.push_back(stack.back());
+        break;
+
+      case Op::kJump:
+        fr.ip = static_cast<std::uint32_t>(insn.a);
+        break;
+
+      case Op::kJumpIfFalse: {
+        const Value v = stack.back();
+        stack.pop_back();
+        if (!v.truthy()) fr.ip = static_cast<std::uint32_t>(insn.a);
+        break;
+      }
+
+      case Op::kJumpIfTrue: {
+        const Value v = stack.back();
+        stack.pop_back();
+        if (v.truthy()) fr.ip = static_cast<std::uint32_t>(insn.a);
+        break;
+      }
+
+      case Op::kMakeClosure: {
+        MV_ASSIGN_OR_RETURN(Cell* const cl,
+                            heap_.alloc(Cell::Type::kClosure));
+        cl->proto_idx = insn.a;
+        cl->closure_env = ctx.frames.back().env;
+        cl->proc_name = protos_[static_cast<std::size_t>(insn.a)]->name;
+        stack.push_back(Value::from_cell(cl));
+        break;
+      }
+
+      case Op::kCall:
+      case Op::kTailCall: {
+        const std::size_t nargs = static_cast<std::size_t>(insn.a);
+        const std::size_t fnpos = stack.size() - nargs - 1;
+        const Value fn = stack[fnpos];
+        if (!fn.is_callable()) {
+          return err(Err::kInval,
+                     "application of non-procedure: " + to_display(fn) +
+                         " in " +
+                         to_display(fr.proto->consts[
+                             static_cast<std::size_t>(insn.b)]));
+        }
+        const bool is_tail = insn.op == Op::kTailCall;
+
+        if (fn.cell->type == Cell::Type::kBuiltin ||
+            fn.cell->proto_idx < 0) {
+          // Builtin, or an interpreter closure leaking across engines:
+          // evaluate to a value here (args stay rooted on the operand
+          // stack while the host copy is in flight).
+          std::vector<Value> args(stack.begin() +
+                                      static_cast<std::ptrdiff_t>(fnpos + 1),
+                                  stack.end());
+          Result<Value> r = fn.cell->type == Cell::Type::kBuiltin
+                                ? fn.cell->builtin(*this, args)
+                                : apply_value(fn, args);
+          MV_RETURN_IF_ERROR(r.status());
+          stack.resize(fnpos);
+          if (is_tail) {
+            Value out;
+            if (do_return(*r, &out)) return out;
+          } else {
+            stack.push_back(*r);
+          }
+          break;
+        }
+
+        if (!is_tail) {
+          MV_RETURN_IF_ERROR(vm_push_call(ctx, nargs));
+          break;
+        }
+
+        // Tail call to a bytecode closure: replace the current frame.
+        VmFrame& cur = ctx.frames.back();
+        Cell* const cl = fn.cell;
+        const Proto* const proto =
+            protos_[static_cast<std::size_t>(cl->proto_idx)].get();
+        const std::size_t fixed = proto->nparams;
+        if (nargs < fixed || (!proto->has_rest && nargs > fixed)) {
+          return err(Err::kInval,
+                     strfmt("%s: expected %zu argument(s), got %zu",
+                            cl->proc_name.empty() ? "procedure"
+                                                  : cl->proc_name.c_str(),
+                            fixed, nargs));
+        }
+
+        if (cl == cur.closure && cur.poolable) {
+          // Self tail call to a non-escaping frame: rebind in place. Slots
+          // need no clearing — correct programs store before every read
+          // (params here; contour slots at their binding forms).
+          Cell* const frame = cur.env;
+          heap_.write_barrier(frame);
+          for (std::size_t i = 0; i < fixed; ++i) {
+            frame->vec[i] = stack[fnpos + 1 + i];
+          }
+          if (proto->has_rest) {
+            RootScope scope(heap_);
+            Value rest = Value::nil();
+            for (std::size_t i = nargs; i-- > fixed;) {
+              scope.add(rest);
+              MV_ASSIGN_OR_RETURN(rest, cons(stack[fnpos + 1 + i], rest));
+            }
+            frame->vec[fixed] = rest;
+          }
+          stack.resize(cur.stack_base);
+          cur.ip = 0;
+          break;
+        }
+
+        MV_ASSIGN_OR_RETURN(Cell* const frame,
+                            heap_.alloc_env_frame(proto->nslots));
+        frame->vec.assign(proto->nslots, Value{});
+        frame->parent_env = cl->closure_env;
+        heap_.write_barrier(frame);
+        for (std::size_t i = 0; i < fixed; ++i) {
+          frame->vec[i] = stack[fnpos + 1 + i];
+        }
+        if (proto->has_rest) {
+          RootScope scope(heap_);
+          scope.add(Value::from_cell(frame));
+          Value rest = Value::nil();
+          for (std::size_t i = nargs; i-- > fixed;) {
+            scope.add(rest);
+            MV_ASSIGN_OR_RETURN(rest, cons(stack[fnpos + 1 + i], rest));
+          }
+          frame->vec[fixed] = rest;
+        }
+        Cell* const old_env = cur.env;
+        const bool old_poolable = cur.poolable;
+        stack.resize(cur.stack_base);
+        cur.proto = proto;
+        cur.env = frame;
+        cur.closure = cl;
+        cur.ip = 0;
+        cur.poolable = !proto->frame_escapes;
+        if (old_poolable) heap_.recycle_env_frame(old_env);
+        break;
+      }
+
+      case Op::kReturn: {
+        const Value result = stack.back();
+        Value out;
+        if (do_return(result, &out)) return out;
+        break;
+      }
+
+      case Op::kCons: {
+        const std::size_t n = stack.size();
+        // Operands stay on the (rooted) stack through the allocation.
+        MV_ASSIGN_OR_RETURN(const Value pair,
+                            cons(stack[n - 2], stack[n - 1]));
+        stack.resize(n - 2);
+        stack.push_back(pair);
+        break;
+      }
+
+      case Op::kInitSlots: {
+        Cell* const frame = fr.env;
+        for (std::int32_t i = 0; i < insn.b; ++i) {
+          frame->vec[static_cast<std::size_t>(insn.a + i)] =
+              Value::unspecified();
+        }
+        heap_.write_barrier(frame);
+        break;
+      }
+
+      case Op::kNameIfAnon: {
+        const Value v = stack.back();
+        if (v.is_cell() && v.cell->type == Cell::Type::kClosure &&
+            v.cell->proc_name.empty()) {
+          v.cell->proc_name = sym_name(static_cast<SymId>(insn.a));
+        }
+        break;
+      }
+
+      case Op::kCaseMatch: {
+        const Value key = stack.back();
+        bool hit = false;
+        for (Value d = fr.proto->consts[static_cast<std::size_t>(insn.a)];
+             !hit && d.is_pair(); d = d.cell->cdr) {
+          hit = value_eqv(key, d.cell->car);
+        }
+        stack.push_back(Value::boolean(hit));
+        break;
+      }
+    }
+  }
+}
+
+Result<Value> Engine::run_toplevel_proto(int proto_idx) {
+  VmContext& ctx = current_vm_context();
+  const std::size_t floor = ctx.frames.size();
+  const std::size_t entry = ctx.stack.size();
+  const Proto* const proto =
+      protos_[static_cast<std::size_t>(proto_idx)].get();
+  MV_ASSIGN_OR_RETURN(Cell* const frame,
+                      heap_.alloc_env_frame(proto->nslots));
+  frame->vec.assign(proto->nslots, Value{});
+  frame->parent_env = nullptr;
+  heap_.write_barrier(frame);
+  VmFrame fr;
+  fr.proto = proto;
+  fr.env = frame;
+  fr.closure = nullptr;
+  fr.ip = 0;
+  fr.stack_base = entry;
+  fr.poolable = !proto->frame_escapes;
+  ctx.frames.push_back(fr);
+  if (ctx.frames.size() > ctx.max_frames_depth) {
+    ctx.max_frames_depth = ctx.frames.size();
+  }
+  Result<Value> result = vm_run(ctx, floor);
+  if (!result.is_ok()) {
+    // Unwind to the entry state; abandoned envs are ordinary garbage.
+    ctx.frames.resize(floor);
+    ctx.stack.resize(entry);
+  }
+  return result;
+}
+
+Result<Value> Engine::vm_apply(Value fn, std::vector<Value>& args) {
+  VmContext& ctx = current_vm_context();
+  const std::size_t floor = ctx.frames.size();
+  const std::size_t entry = ctx.stack.size();
+  ctx.stack.push_back(fn);
+  for (const Value& a : args) ctx.stack.push_back(a);
+  const Status st = vm_push_call(ctx, args.size());
+  if (!st.is_ok()) {
+    ctx.stack.resize(entry);
+    return st;
+  }
+  Result<Value> result = vm_run(ctx, floor);
+  if (!result.is_ok()) {
+    ctx.frames.resize(floor);
+    ctx.stack.resize(entry);
+  }
+  return result;
+}
+
+}  // namespace mv::scheme

@@ -1,0 +1,33 @@
+#pragma once
+
+// Execution state for the Vessel bytecode VM (dispatch loop in vm.cpp,
+// entered through Engine). One VmContext exists per fiber, mirroring the
+// heap's per-fiber shadow root stacks: interpreter threads interleave at
+// syscall block points, so each needs its own operand stack and frame
+// chain. Every context is registered as a GC root through the engine's
+// extra_root_marker hook.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/scheme/compile.hpp"
+#include "runtime/scheme/value.hpp"
+
+namespace mv::scheme {
+
+struct VmFrame {
+  const Proto* proto = nullptr;
+  Cell* env = nullptr;      // flat slot frame (kEnv cell, slots in vec)
+  Cell* closure = nullptr;  // callee cell; null for toplevel frames
+  std::uint32_t ip = 0;
+  std::size_t stack_base = 0;  // operand-stack height at entry
+  bool poolable = false;       // !proto->frame_escapes: recycled on return
+};
+
+struct VmContext {
+  std::vector<Value> stack;
+  std::vector<VmFrame> frames;
+  std::uint64_t max_frames_depth = 0;
+};
+
+}  // namespace mv::scheme

@@ -286,6 +286,46 @@ TEST_F(SchemeTest, ErrorsPropagate) {
   EXPECT_NE(ev("((lambda (x) x) 1 2)").find("ERROR"), std::string::npos);
 }
 
+// Reader error paths: every malformed input must surface a PARSE status
+// with a useful message, never a crash, a silent misread, or a bogus value.
+TEST_F(SchemeTest, ReaderRejectsMalformedInput) {
+  struct Case {
+    const char* src;
+    const char* expect;  // substring of the error text
+  };
+  static const Case kCases[] = {
+      {"\"unterminated", "unterminated string literal"},
+      {"(1 2", "unterminated list"},
+      {"(1 (2 3)", "unterminated list"},
+      {")", "unexpected )"},
+      {"(. 5)", "dotted pair without car"},
+      {"(1 .", "unexpected end of input after ."},
+      {"(1 . 2 3)", "expected ) after dotted tail"},
+      {"'", "unexpected end of input after quote"},
+      {"`", "unexpected end of input after quasiquote"},
+      {"(a ,", "unexpected end of input after unquote"},
+      {"#| never closed", "unterminated block comment"},
+      {"#| outer #| inner |# still open", "unterminated block comment"},
+      {"99999999999999999999999999", "integer literal overflow"},
+      {"-99999999999999999999999999", "integer literal overflow"},
+      {"#\\bogus", "bad character literal"},
+  };
+  for (const Case& c : kCases) {
+    const std::string result = ev(c.src);
+    EXPECT_NE(result.find("ERROR: PARSE"), std::string::npos)
+        << c.src << " => " << result;
+    EXPECT_NE(result.find(c.expect), std::string::npos)
+        << c.src << " => " << result;
+  }
+  // Nesting beyond the parser's depth cap errors instead of overflowing
+  // the host stack.
+  const std::string deep =
+      std::string(5000, '(') + "1" + std::string(5000, ')');
+  const std::string result = ev(deep);
+  EXPECT_NE(result.find("expression nesting too deep"), std::string::npos)
+      << result;
+}
+
 // --- output -------------------------------------------------------------------------
 
 TEST_F(SchemeTest, DisplayGoesThroughWriteSyscalls) {
@@ -365,6 +405,68 @@ TEST_F(SchemeTest, WriteBarriersTakeSigsegvs) {
   EXPECT_GT(proc_->signals_delivered, 0u);
   EXPECT_GE(proc_->syscall_count(ros::SysNr::kRtSigreturn), 1u);
   EXPECT_GE(proc_->syscall_count(ros::SysNr::kMprotect), 2u);
+}
+
+// Rooting stress: with the trigger at 1 every allocation runs a full
+// collection, so any intermediate value held only in an unrooted host
+// variable is swept out from under its consumer. The battery walks every
+// allocation path (cons chains, quasiquote rebuilds, append/reverse copies,
+// sort's comparator upcalls, apply's spread, rest-parameter lists, string
+// and vector constructors) under both execution engines.
+TEST_F(SchemeTest, EveryAllocationCollectsAndNothingLiveIsSwept) {
+  struct Case {
+    const char* src;
+    const char* expect;
+  };
+  static const Case kCases[] = {
+      {"(define (build n acc)"
+       "  (if (= n 0) acc (build (- n 1) (cons n acc))))"
+       "(length (build 40 '()))",
+       "40"},
+      {"(let ((x 1) (y 2)) `(a ,x (b ,y) ,(+ x y)))", "(a 1 (b 2) 3)"},
+      {"(append '(1 2) '(3 4) (list 5 6))", "(1 2 3 4 5 6)"},
+      {"(reverse (string->list \"hello\"))", "(o l l e h)"},
+      {"(sort '(3 1 2 5 4) (lambda (a b) (< a b)))", "(1 2 3 4 5)"},
+      {"(apply + 1 2 '(3 4 5))", "15"},
+      {"(define (rest-count . xs) (length xs))"
+       "(rest-count 1 2 3 4 5 6 7)",
+       "7"},
+      {"(string-append \"ab\" (number->string 12) (symbol->string 'cd))",
+       "ab12cd"},
+      {"(let loop ((i 0) (v (make-vector 6 0)))"
+       "  (if (= i 6) v (begin (vector-set! v i (* i i))"
+       "                       (loop (+ i 1) v))))",
+       "#(0 1 4 9 16 25)"},
+      {"(do ((i 0 (+ i 1)) (acc '() (cons i acc)))"
+       "    ((= i 5) (reverse acc)))",
+       "(0 1 2 3 4)"},
+      {"(define (compose f g) (lambda (x) (f (g x))))"
+       "((compose (lambda (x) (* x 2)) (lambda (x) (+ x 3))) 4)",
+       "14"},
+      {"(vector->list (list->vector '(1 #\\x \"s\" 2.5)))", "(1 x s 2.5)"},
+  };
+  for (const Engine::Exec exec :
+       {Engine::Exec::kInterpreter, Engine::Exec::kBytecodeVm}) {
+    for (const Case& c : kCases) {
+      Engine::Config cfg;
+      cfg.exec = exec;
+      cfg.heap.gc_allocation_trigger = 1;
+      cfg.heap.write_barriers = false;  // skip the mprotect storm
+      cfg.load_boot_files = false;      // keep per-alloc-collect init cheap
+      std::string result;
+      run_guest([&result, &c, cfg](ros::SysIface& sys) {
+        Engine engine(sys, cfg);
+        const Status up = engine.init();
+        EXPECT_TRUE(up.is_ok()) << up.to_string();
+        auto r = engine.eval_to_string(c.src);
+        result = r.is_ok() ? *r : "ERROR: " + r.status().to_string();
+        return 0;
+      });
+      EXPECT_EQ(result, c.expect)
+          << (cfg.exec == Engine::Exec::kBytecodeVm ? "vm: " : "interp: ")
+          << c.src;
+    }
+  }
 }
 
 TEST_F(SchemeTest, StartupHasRacketLikeSyscallProfile) {

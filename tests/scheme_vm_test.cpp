@@ -1,0 +1,387 @@
+// Bytecode VM tests: the interpreter is the reference semantics, the VM
+// must agree byte-for-byte on every observable output (the twin-run
+// property), while using constant frame depth for tail calls and recycling
+// pooled call frames. Also covers the fig13 benchmark suite in both Native
+// and hybridized (HRT) configurations.
+
+#include <gtest/gtest.h>
+
+#include "multiverse/system.hpp"
+#include "ros/linux.hpp"
+#include "runtime/scheme/engine.hpp"
+#include "runtime/scheme/programs.hpp"
+
+namespace mv::scheme {
+namespace {
+
+Engine::Config vm_config() {
+  Engine::Config cfg;
+  cfg.exec = Engine::Exec::kBytecodeVm;
+  return cfg;
+}
+
+// Runs one engine over `src` in a fresh native LinuxSim guest; returns the
+// displayed result of the last form ("ERROR: ..." on failure).
+class SchemeVmTest : public ::testing::Test {
+ protected:
+  std::string ev_with(const std::string& src, Engine::Config cfg) {
+    std::string result;
+    run_guest([&result, &src, cfg](ros::SysIface& sys) {
+      Engine engine(sys, cfg);
+      const Status up = engine.init();
+      EXPECT_TRUE(up.is_ok()) << up.to_string();
+      auto r = engine.eval_to_string(src);
+      result = r.is_ok() ? *r : "ERROR: " + r.status().to_string();
+      return 0;
+    });
+    return result;
+  }
+
+  std::string ev(const std::string& src) { return ev_with(src, vm_config()); }
+
+  // The twin-run property: interpreter and VM agree on the displayed
+  // result. Returns the VM's answer for further assertions.
+  std::string twin(const std::string& src) {
+    const std::string oracle = ev_with(src, Engine::Config{});
+    const std::string vm = ev_with(src, vm_config());
+    EXPECT_EQ(oracle, vm) << "engines diverge on: " << src;
+    return vm;
+  }
+
+  std::string stdout_with(const std::string& src, Engine::Config cfg) {
+    run_guest([&src, cfg](ros::SysIface& sys) {
+      Engine engine(sys, cfg);
+      const Status up = engine.init();
+      EXPECT_TRUE(up.is_ok()) << up.to_string();
+      auto r = engine.eval_string(src);
+      EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+      (void)engine.flush();
+      return 0;
+    });
+    return proc_->stdout_text;
+  }
+
+  void run_guest(std::function<int(ros::SysIface&)> guest) {
+    proc_ = nullptr;
+    linux_.reset();
+    sched_.reset();
+    machine_.reset();
+    machine_ = std::make_unique<hw::Machine>(hw::MachineConfig{1, 2, 1 << 28});
+    sched_ = std::make_unique<Sched>();
+    linux_ = std::make_unique<ros::LinuxSim>(
+        *machine_, *sched_, ros::LinuxSim::Config{{0}, false, 0});
+    ASSERT_TRUE(install_boot_files(linux_->fs()).is_ok());
+    auto proc = linux_->spawn("scheme", std::move(guest));
+    ASSERT_TRUE(proc.is_ok());
+    proc_ = *proc;
+    const Status s = linux_->run_all();
+    ASSERT_TRUE(s.is_ok()) << s.to_string();
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<Sched> sched_;
+  std::unique_ptr<ros::LinuxSim> linux_;
+  ros::Process* proc_ = nullptr;
+};
+
+// --- core semantics, twin-run ----------------------------------------------
+
+TEST_F(SchemeVmTest, LiteralsAndArithmetic) {
+  EXPECT_EQ(twin("42"), "42");
+  EXPECT_EQ(twin("(+ 1 2 3)"), "6");
+  EXPECT_EQ(twin("(* 2.5 4)"), "10.0");
+  EXPECT_EQ(twin("(- 10 (quotient 7 2))"), "7");
+  EXPECT_EQ(twin("'(1 2 (3 . 4))"), "(1 2 (3 . 4))");
+  EXPECT_EQ(twin("\"hi\""), "hi");
+}
+
+TEST_F(SchemeVmTest, LetForms) {
+  EXPECT_EQ(twin("(let ((x 1) (y 2)) (+ x y))"), "3");
+  // Plain let inits see the outer scope, not each other.
+  EXPECT_EQ(twin("(define x 10) (let ((x 1) (y x)) y)"), "10");
+  EXPECT_EQ(twin("(let* ((x 1) (y (+ x 1))) (* x y))"), "2");
+  EXPECT_EQ(twin("(letrec ((even? (lambda (n) (if (= n 0) #t (odd? (- n 1)))))"
+                 "         (odd? (lambda (n) (if (= n 0) #f (even? (- n 1))))))"
+                 "  (even? 10))"),
+            "#t");
+  // Shadowing across nested contours.
+  EXPECT_EQ(twin("(let ((x 1)) (let ((x 2)) x))"), "2");
+  EXPECT_EQ(twin("(let ((x 1)) (+ (let ((x 2)) x) x))"), "3");
+  // Duplicate names in one let: last binding wins (env_define overwrite).
+  EXPECT_EQ(twin("(let ((x 1) (x 2)) x)"), "2");
+}
+
+TEST_F(SchemeVmTest, ConditionalForms) {
+  EXPECT_EQ(twin("(if #f 'a)"), "");  // unspecified displays as empty
+  EXPECT_EQ(twin("(cond (#f 1) (2) (else 3))"), "2");  // (cond (x)) yields x
+  EXPECT_EQ(twin("(cond (#f 1))"), "");
+  EXPECT_EQ(twin("(case 3 ((1 2) 'lo) ((3 4) 'mid) (else 'hi))"), "mid");
+  EXPECT_EQ(twin("(case 9 ((1) 'one))"), "");
+  EXPECT_EQ(twin("(and 1 2 #f 3)"), "#f");
+  EXPECT_EQ(twin("(and)"), "#t");
+  EXPECT_EQ(twin("(or #f 7 9)"), "7");
+  EXPECT_EQ(twin("(or)"), "#f");
+  EXPECT_EQ(twin("(when (> 2 1) 'yes)"), "yes");
+  EXPECT_EQ(twin("(unless (> 2 1) 'no)"), "");
+}
+
+TEST_F(SchemeVmTest, DoLoops) {
+  EXPECT_EQ(twin("(do ((i 0 (+ i 1)) (acc 0 (+ acc i)))"
+                 "    ((= i 5) acc))"),
+            "10");
+  // Steps update simultaneously from pre-step values.
+  EXPECT_EQ(twin("(do ((a 0 b) (b 1 (+ a b)) (n 0 (+ n 1)))"
+                 "    ((= n 10) a))"),
+            "55");
+  // Variables without a step keep their value; body runs for effect.
+  EXPECT_EQ(twin("(define v (make-vector 3 0))"
+                 "(do ((i 0 (+ i 1)) (k 7)) ((= i 3) (vector-ref v 1))"
+                 "  (vector-set! v i (* k i)))"),
+            "7");
+}
+
+TEST_F(SchemeVmTest, NamedLetBothPaths) {
+  // Jump-qualifying loop (self tail calls only, no closures).
+  EXPECT_EQ(twin("(let loop ((i 0) (acc 1))"
+                 "  (if (= i 5) acc (loop (+ i 1) (* acc 2))))"),
+            "32");
+  // Closure fallback: the loop name escapes as a value.
+  EXPECT_EQ(twin("(define f (let loop ((i 0)) (lambda () i))) (f)"), "0");
+  // Fallback: non-tail self call.
+  EXPECT_EQ(twin("(let sum ((n 3)) (if (= n 0) 0 (+ n (sum (- n 1)))))"),
+            "6");
+  // Nested qualifying loops; inner jumps while outer stays live.
+  EXPECT_EQ(twin("(let outer ((i 0) (total 0))"
+                 "  (if (= i 3) total"
+                 "      (outer (+ i 1)"
+                 "             (let inner ((j 0) (s total))"
+                 "               (if (= j 4) s (inner (+ j 1) (+ s 1)))))))"),
+            "12");
+  // Loop init exprs must not see the loop name.
+  EXPECT_EQ(twin("(define loop 99) (let loop ((x loop)) x)"), "99");
+}
+
+TEST_F(SchemeVmTest, ClosuresAndHigherOrder) {
+  EXPECT_EQ(twin("(define (adder n) (lambda (x) (+ x n)))"
+                 "((adder 3) 4)"),
+            "7");
+  EXPECT_EQ(twin("(map (lambda (x) (* x x)) '(1 2 3))"), "(1 4 9)");
+  EXPECT_EQ(twin("(apply + 1 2 '(3 4))"), "10");
+  // Rest parameters.
+  EXPECT_EQ(twin("(define (f a . rest) (cons a rest)) (f 1 2 3)"), "(1 2 3)");
+  EXPECT_EQ(twin("(define (g . all) all) (g)"), "()");
+  // Counter with captured mutable state.
+  EXPECT_EQ(twin("(define (mk) (let ((n 0)) (lambda () (set! n (+ n 1)) n)))"
+                 "(define c (mk)) (c) (c) (c)"),
+            "3");
+}
+
+TEST_F(SchemeVmTest, InternalDefinesAndMutualRecursion) {
+  EXPECT_EQ(twin("(define (f n)"
+                 "  (define (even? k) (if (= k 0) #t (odd? (- k 1))))"
+                 "  (define (odd? k) (if (= k 0) #f (even? (- k 1))))"
+                 "  (even? n))"
+                 "(f 8)"),
+            "#t");
+  EXPECT_EQ(twin("(let ((a 1)) (define b (+ a 1)) (* a b))"), "2");
+}
+
+TEST_F(SchemeVmTest, QuasiquoteMirrorsInterpreter) {
+  EXPECT_EQ(twin("`(1 ,(+ 1 1) 3)"), "(1 2 3)");
+  EXPECT_EQ(twin("`(a `(b ,(c ,(+ 1 2))))"), "(a (quasiquote (b (unquote (c 3)))))");
+  EXPECT_EQ(twin("(define x 5) `(x . ,x)"), "(x . 5)");
+}
+
+TEST_F(SchemeVmTest, SetAndDefineSemantics) {
+  EXPECT_EQ(twin("(define x 1) (set! x 2) x"), "2");
+  EXPECT_EQ(twin("(define (f) (define y 1) (set! y 9) y) (f)"), "9");
+  // Anonymous lambdas take their define's name (visible in arity errors).
+  EXPECT_EQ(twin("(define h (lambda (a) a)) (h 1 2)"),
+            "ERROR: EINVAL: h: expected 1 argument(s), got 2");
+}
+
+TEST_F(SchemeVmTest, ErrorMessagesMatchInterpreter) {
+  EXPECT_EQ(twin("nope"), "ERROR: ENOENT: unbound variable: nope");
+  EXPECT_EQ(twin("(set! nope 1)"),
+            "ERROR: ENOENT: set!: unbound variable nope");
+  EXPECT_EQ(twin("(1 2)"),
+            "ERROR: EINVAL: application of non-procedure: 1 in (1 2)");
+  EXPECT_EQ(twin("((lambda (x) x))"),
+            "ERROR: EINVAL: procedure: expected 1 argument(s), got 0");
+  EXPECT_EQ(twin("(unquote 1)"),
+            "ERROR: EINVAL: unquote outside quasiquote");
+}
+
+TEST_F(SchemeVmTest, InterpreterThreadsUnderVm) {
+  // spawn-thread thunks apply through vm_apply; each fiber gets its own
+  // VM context.
+  EXPECT_EQ(twin("(define done 0)"
+                 "(define t (spawn-thread (lambda () (set! done 41))))"
+                 "(thread-join t)"
+                 "(+ done 1)"),
+            "42");
+}
+
+// --- VM-specific properties -------------------------------------------------
+
+TEST_F(SchemeVmTest, MillionTailCallsConstantFrameDepth) {
+  run_guest([](ros::SysIface& sys) -> int {
+    Engine engine(sys, vm_config());
+    EXPECT_TRUE(engine.init().is_ok());
+    auto r = engine.eval_to_string(
+        "(define (loop i) (if (= i 0) 'done (loop (- i 1))))"
+        "(loop 1000000)");
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    if (!r.is_ok()) return 1;
+    EXPECT_EQ(*r, "done");
+    // One toplevel frame per form plus the self-tail-calling loop frame:
+    // depth must stay flat no matter the iteration count.
+    EXPECT_LE(engine.vm_max_frame_depth(), 4u);
+    return 0;
+  });
+}
+
+TEST_F(SchemeVmTest, DeepMutualTailCallsConstantFrameDepth) {
+  run_guest([](ros::SysIface& sys) -> int {
+    Engine engine(sys, vm_config());
+    EXPECT_TRUE(engine.init().is_ok());
+    auto r = engine.eval_to_string(
+        "(define (even? n) (if (= n 0) #t (odd? (- n 1))))"
+        "(define (odd? n) (if (= n 0) #f (even? (- n 1))))"
+        "(even? 200001)");
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    if (!r.is_ok()) return 1;
+    EXPECT_EQ(*r, "#f");
+    EXPECT_LE(engine.vm_max_frame_depth(), 4u);
+    return 0;
+  });
+}
+
+TEST_F(SchemeVmTest, OperandStackRootsSurviveForcedCollection) {
+  // gc_allocation_trigger = 1: every allocation runs a full collection, so
+  // any value reachable only through the operand stack dies immediately if
+  // the stack is not a root.
+  Engine::Config cfg = vm_config();
+  cfg.heap.gc_allocation_trigger = 1;
+  cfg.heap.write_barriers = false;  // skip the mprotect storm; rooting is
+                                    // what this test stresses
+  cfg.load_boot_files = false;  // keep the per-alloc-collect init affordable
+  EXPECT_EQ(
+      ev_with("(define (build n)"
+              "  (if (= n 0) '() (cons (make-vector 3 n) (build (- n 1)))))"
+              "(length (build 20))",
+              cfg),
+      "20");
+  EXPECT_EQ(ev_with("(car (cons (make-vector 4 1)"
+                    "           (begin (collect-garbage)"
+                    "                  (vector-ref (make-vector 9 4) 2))))",
+                    cfg),
+            "#(1 1 1 1)");
+}
+
+TEST_F(SchemeVmTest, PooledFramesAreRecycled) {
+  run_guest([](ros::SysIface& sys) -> int {
+    Engine engine(sys, vm_config());
+    EXPECT_TRUE(engine.init().is_ok());
+    // Non-escaping frames: every return recycles, every call after the
+    // first reuses a pooled frame.
+    auto r = engine.eval_to_string(
+        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+        "(fib 15)");
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    if (!r.is_ok()) return 1;
+    EXPECT_EQ(*r, "610");
+    const GcStats& stats = engine.heap().stats();
+    EXPECT_GT(stats.env_recycles, 500u);
+    EXPECT_GT(stats.env_reuses, 500u);
+    return 0;
+  });
+}
+
+TEST_F(SchemeVmTest, EscapingFramesAreNotRecycled) {
+  run_guest([](ros::SysIface& sys) -> int {
+    Engine engine(sys, vm_config());
+    EXPECT_TRUE(engine.init().is_ok());
+    const std::uint64_t before = engine.heap().stats().env_recycles;
+    // mk's frame is captured by the returned closure: recycling it would
+    // corrupt the captured environment.
+    auto r = engine.eval_to_string(
+        "(define (mk n) (lambda () n))"
+        "(define fs (map mk '(1 2 3)))"
+        "(apply + (map (lambda (f) (f)) fs))");
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    if (!r.is_ok()) return 1;
+    EXPECT_EQ(*r, "6");
+    (void)before;  // closure application still recycles poolable callers
+    return 0;
+  });
+}
+
+// --- fig13 suite byte-identity ---------------------------------------------
+
+class VmBenchmarkTwinTest : public SchemeVmTest,
+                            public ::testing::WithParamInterface<int> {};
+
+TEST_P(VmBenchmarkTwinTest, NativeOutputsIdentical) {
+  const Bench bench = static_cast<Bench>(GetParam());
+  const std::string src =
+      benchmark_source(bench, benchmark_test_size(bench));
+  const std::string oracle = stdout_with(src, Engine::Config{});
+  const std::string vm = stdout_with(src, vm_config());
+  EXPECT_FALSE(vm.empty());
+  EXPECT_EQ(oracle, vm) << "VM output diverges on "
+                        << benchmark_name(bench);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, VmBenchmarkTwinTest,
+                         ::testing::Range(0, kBenchCount));
+
+}  // namespace
+}  // namespace mv::scheme
+
+// --- hybridized twin-run ----------------------------------------------------
+
+namespace mv::multiverse {
+namespace {
+
+Result<ProgramResult> run_vessel(bool hybrid, bool vm,
+                                 const std::string& src) {
+  SystemConfig cfg;
+  cfg.virtualized = hybrid;
+  if (hybrid) cfg.extra_override_config = "option service_workers 2\n";
+  HybridSystem system(cfg);
+  MV_RETURN_IF_ERROR(scheme::install_boot_files(system.linux().fs()));
+  scheme::Engine::Config ecfg;
+  if (vm) ecfg.exec = scheme::Engine::Exec::kBytecodeVm;
+  auto guest = [src, ecfg](ros::SysIface& sys) {
+    return scheme::vessel_main(sys, src, /*use_launcher_thread=*/false,
+                               ecfg);
+  };
+  return hybrid ? system.run_hybrid("vessel", guest)
+                : system.run("vessel", guest);
+}
+
+class HybridVmTwinTest : public ::testing::TestWithParam<int> {};
+
+// Interpreter and VM agree byte-for-byte in the hybridized (HRT)
+// configuration too, with exitless service workers enabled.
+TEST_P(HybridVmTwinTest, HybridOutputsIdentical) {
+  const auto bench = static_cast<scheme::Bench>(GetParam());
+  const std::string src =
+      scheme::benchmark_source(bench, scheme::benchmark_test_size(bench));
+  auto oracle = run_vessel(true, false, src);
+  auto vm = run_vessel(true, true, src);
+  ASSERT_TRUE(oracle.is_ok()) << oracle.status().to_string();
+  ASSERT_TRUE(vm.is_ok()) << vm.status().to_string();
+  EXPECT_EQ(oracle->exit_code, 0);
+  EXPECT_EQ(vm->exit_code, 0);
+  EXPECT_FALSE(vm->stdout_text.empty());
+  EXPECT_EQ(oracle->stdout_text, vm->stdout_text)
+      << "hybrid VM output diverges on " << scheme::benchmark_name(bench);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, HybridVmTwinTest,
+                         ::testing::Range(0, scheme::kBenchCount));
+
+}  // namespace
+}  // namespace mv::multiverse
