@@ -1,0 +1,239 @@
+// Ablation: multi-tenant hosting density. One HybridSystem hosts N tenants —
+// the implicit tenant 0 plus N-1 created ones — each booting its HRT view
+// from the cached pre-built image (a sparse PML4 stamp over the already
+// booted kernel) instead of the ~2.2 ms cold boot, then running a mixed
+// Vessel / VCODE / Tributary workload. An open-loop generator: every tenant
+// process is admitted up front and creates itself the moment the stack is up,
+// regardless of how the others are progressing.
+//
+// Reported: cached-boot p50/p99 against the cold boot (the >=100x claim),
+// marginal HRT footprint per tenant (tenants/GB), and per-tenant workload
+// latency percentiles. `--smoke` runs a CI-sized fleet and enforces the boot
+// bound plus the tenants=1 bitwise-identity shape check.
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common.hpp"
+#include "runtime/taskpar/hpcg.hpp"
+#include "runtime/vcode/vcode.hpp"
+
+namespace mvbench {
+namespace {
+
+int trivial_workload(ros::SysIface& sys) {
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto pid = sys.getpid();
+    sum = sum * 31 + (pid.is_ok() ? *pid : 0);
+  }
+  return static_cast<int>(sum % 97);
+}
+
+// Mixed tenant workloads, one runtime system per tenant index.
+std::function<int(ros::SysIface&)> tenant_workload(int idx) {
+  switch (idx % 3) {
+    case 0:  // Vessel Scheme
+      return [](ros::SysIface& sys) {
+        scheme::Engine engine(sys);
+        if (!engine.init().is_ok()) return 70;
+        auto r = engine.eval_to_string(
+            "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+            "(fib 10)");
+        (void)engine.flush();
+        return r.is_ok() && *r == "55" ? 0 : 1;
+      };
+    case 1:  // VCODE VM
+      return [](ros::SysIface& sys) {
+        vcode::Vm vm(sys);
+        return vm.run("CONST 60\nIOTA\nDUP\nMUL\nREDUCE +\nPRINT\n").is_ok()
+                   ? 0
+                   : 1;
+      };
+    default:  // Tributary (task-parallel CG)
+      return [](ros::SysIface& sys) {
+        taskpar::CgConfig cfg;
+        cfg.n = 64;
+        cfg.iterations = 2;
+        cfg.workers = 2;
+        cfg.chunks = 2;
+        auto r = taskpar::run_hpcg_like(sys, cfg);
+        return r.is_ok() ? 0 : 1;
+      };
+  }
+}
+
+SystemConfig density_config(int programs) {
+  SystemConfig cfg;
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 4;
+  cfg.ros_cores = {0, 1, 2};
+  cfg.hrt_cores = {4, 5, 6, 7};
+  cfg.extra_override_config = strfmt("option tenants %d\n", programs);
+  return cfg;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct IdentitySig {
+  int exit_code = 0;
+  std::uint64_t total_syscalls = 0;
+  std::uint64_t final_cycles = 0;
+  std::string metrics_text;
+};
+
+// The tenants=1 identity pair: run_tenants with a single program must be the
+// classic run_hybrid, bit for bit.
+IdentitySig identity_run(bool via_run_tenants, std::uint64_t* hrt_bytes) {
+  HybridSystem sys(density_config(/*programs=*/1));
+  IdentitySig sig;
+  if (via_run_tenants) {
+    auto r = sys.run_tenants({{"t0", trivial_workload, ""}});
+    if (r.is_ok() && !r->programs.empty()) {
+      sig.exit_code = r->programs[0].exit_code;
+      sig.total_syscalls = r->programs[0].total_syscalls;
+    }
+  } else {
+    auto r = sys.run_hybrid("t0", trivial_workload);
+    if (r.is_ok()) {
+      sig.exit_code = r->exit_code;
+      sig.total_syscalls = r->total_syscalls;
+    }
+  }
+  sig.metrics_text = metrics::Registry::instance().to_text();
+  for (unsigned c = 0; c < sys.machine().core_count(); ++c) {
+    sig.final_cycles += sys.machine().core(c).cycles();
+  }
+  if (hrt_bytes != nullptr) *hrt_bytes = sys.hvm().hrt_bytes_used();
+  return sig;
+}
+
+int run(int tenants_total, bool smoke) {
+  banner("abl_tenant_density",
+         smoke ? "multi-tenant density (CI smoke fleet)"
+               : "multi-tenant density (open-loop fleet)");
+  int failures = 0;
+
+  // --- tenants=1 bitwise identity (shape check) -----------------------------
+  std::uint64_t baseline_bytes = 0;
+  begin_measurement();
+  const IdentitySig classic = identity_run(false, nullptr);
+  end_measurement("identity_classic");
+  begin_measurement();
+  const IdentitySig delegated = identity_run(true, &baseline_bytes);
+  end_measurement("identity_delegated");
+  const bool identity_ok = classic.exit_code == delegated.exit_code &&
+                           classic.total_syscalls == delegated.total_syscalls &&
+                           classic.final_cycles == delegated.final_cycles &&
+                           classic.metrics_text == delegated.metrics_text;
+  std::printf("tenants=1 identity: %s (cycles %llu vs %llu, metrics %s)\n",
+              identity_ok ? "BITWISE IDENTICAL" : "DIVERGED",
+              static_cast<unsigned long long>(classic.final_cycles),
+              static_cast<unsigned long long>(delegated.final_cycles),
+              classic.metrics_text == delegated.metrics_text ? "equal"
+                                                             : "DIFFER");
+  if (!identity_ok) ++failures;
+
+  // --- the fleet ------------------------------------------------------------
+  begin_measurement();
+  HybridSystem sys(density_config(tenants_total));
+  MV_CHECK_OK(scheme::install_boot_files(sys.linux().fs()));
+  std::vector<HybridSystem::TenantProgram> programs;
+  programs.push_back({"host", trivial_workload, ""});
+  for (int i = 1; i < tenants_total; ++i) {
+    programs.push_back({strfmt("tenant-%d", i), tenant_workload(i), ""});
+  }
+  auto fleet = sys.run_tenants(std::move(programs));
+  if (!fleet.is_ok()) {
+    std::printf("FLEET RUN FAILED: %s\n", fleet.status().to_string().c_str());
+    return 1;
+  }
+  end_measurement("fleet");
+
+  // Every mixed workload returns 0 on success (the host's checksum exit at
+  // index 0 is not a failure signal).
+  int bad_exits = 0;
+  std::vector<double> tenant_elapsed_ms;
+  for (std::size_t i = 1; i < fleet->programs.size(); ++i) {
+    if (fleet->programs[i].exit_code != 0) ++bad_exits;
+    tenant_elapsed_ms.push_back(fleet->programs[i].elapsed_s * 1e3);
+  }
+  if (bad_exits > 0) {
+    std::printf("WORKLOAD FAILURES: %d tenants exited nonzero\n", bad_exits);
+    ++failures;
+  }
+
+  // --- cached boot vs cold boot ---------------------------------------------
+  const auto cold = static_cast<double>(sys.hvm().last_boot_cycles());
+  std::vector<double> boots;
+  boots.reserve(fleet->boot_cycles.size());
+  for (const Cycles c : fleet->boot_cycles) {
+    boots.push_back(static_cast<double>(c));
+  }
+  const double boot_p50 = percentile(boots, 50);
+  const double boot_p99 = percentile(boots, 99);
+  std::printf("\ntenants hosted:            %d (1 implicit + %zu created)\n",
+              tenants_total, boots.size());
+  std::printf("cold HRT boot:             %.0f cycles (%.2f ms)\n", cold,
+              cycles_to_seconds(static_cast<Cycles>(cold)) * 1e3);
+  std::printf("cached tenant boot p50:    %.0f cycles (%.2f us)\n", boot_p50,
+              cycles_to_seconds(static_cast<Cycles>(boot_p50)) * 1e6);
+  std::printf("cached tenant boot p99:    %.0f cycles (%.2f us)\n", boot_p99,
+              cycles_to_seconds(static_cast<Cycles>(boot_p99)) * 1e6);
+  const double speedup = boot_p99 > 0 ? cold / boot_p99 : 0;
+  std::printf("cold/cached p99 speedup:   %.0fx (bound: >=100x)\n", speedup);
+  if (speedup < 100.0) {
+    std::printf("BOOT BOUND VIOLATED\n");
+    ++failures;
+  }
+
+  // --- density (marginal HRT footprint) -------------------------------------
+  const std::uint64_t fleet_bytes = sys.hvm().hrt_bytes_used();
+  const std::uint64_t marginal =
+      fleet_bytes > baseline_bytes ? fleet_bytes - baseline_bytes : 0;
+  const double per_tenant =
+      boots.empty() ? 0.0
+                    : static_cast<double>(marginal) /
+                          static_cast<double>(boots.size());
+  std::printf("HRT footprint:             %.1f KiB total, %.1f KiB marginal "
+              "per tenant\n",
+              static_cast<double>(fleet_bytes) / 1024.0, per_tenant / 1024.0);
+  if (per_tenant > 0) {
+    std::printf("tenants/GB (marginal):     %.0f\n",
+                (1ull << 30) / per_tenant);
+  }
+
+  // --- per-tenant workload latency ------------------------------------------
+  std::printf("tenant elapsed p50:        %.3f ms\n",
+              percentile(tenant_elapsed_ms, 50));
+  std::printf("tenant elapsed p99:        %.3f ms\n",
+              percentile(tenant_elapsed_ms, 99));
+  print_channel_latency_percentiles();
+
+  std::printf("%s\n", failures == 0 ? "OK" : "FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mvbench
+
+int main(int argc, char** argv) {
+  int tenants = 120;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      tenants = 12;
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      tenants = std::max(2, std::atoi(argv[++i]));
+    }
+  }
+  return mvbench::run(tenants, smoke);
+}

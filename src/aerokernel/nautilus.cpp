@@ -96,18 +96,28 @@ void Nautilus::install_idt() {
   }
 }
 
-Status Nautilus::map_higher_half_page(std::uint64_t vaddr) {
+Status Nautilus::map_higher_half_page(std::uint64_t vaddr,
+                                      std::uint64_t active_root) {
   const std::uint64_t paddr = vaddr - boot_info_.higher_half_base;
   if (paddr >= boot_info_.dram_bytes) {
     return err(Err::kBadAddr, "higher-half access beyond DRAM");
   }
   // Identity-map with a 2 MiB large page, as real Nautilus does — one fault
-  // covers the whole region.
+  // covers the whole region. The tables always grow under the boot root so
+  // every tenant root can borrow the same subtree.
   const std::uint64_t large_va = vaddr & ~(hw::kLargePageSize - 1);
   const std::uint64_t large_pa = paddr & ~(hw::kLargePageSize - 1);
-  return machine_->paging().map_large_page(
+  MV_RETURN_IF_ERROR(machine_->paging().map_large_page(
       cr3_, large_va, large_pa,
-      hw::kPtePresent | hw::kPteWrite);  // kernel-only, executable
+      hw::kPtePresent | hw::kPteWrite));  // kernel-only, executable
+  if (active_root != 0 && active_root != cr3_) {
+    // The faulting core runs on a tenant root: refresh its borrowed PML4
+    // slot in case the mapping just materialized a new top-level subtree.
+    const int slot = static_cast<int>((vaddr >> 39) & 0x1ff);
+    machine_->paging().write_pml4_entry(
+        active_root, slot, machine_->paging().read_pml4_entry(cr3_, slot));
+  }
+  return Status::ok();
 }
 
 void Nautilus::page_fault_handler(hw::Core& core,
@@ -117,7 +127,7 @@ void Nautilus::page_fault_handler(hw::Core& core,
   if (hw::is_higher_half(vaddr)) {
     // Lazy extension of the identity map (real Nautilus maps this eagerly
     // with huge pages; the visible semantics are identical).
-    (void)map_higher_half_page(vaddr);
+    (void)map_higher_half_page(vaddr, core.cr3());
     return;
   }
 
@@ -136,7 +146,14 @@ void Nautilus::page_fault_handler(hw::Core& core,
   // re-merge and retry.
   auto& last = last_fault_[core.id()];
   if (last == vaddr) {
-    (void)remerge();
+    if (thread->cr3 != 0) {
+      // Tenant thread: the new PML4 entry lives in the tenant process's
+      // page tables, so re-merge the tenant's own root from its CR3.
+      (void)remerge_root(thread->cr3, thread->tenant_ros_cr3);
+      ++remerges_;
+    } else {
+      (void)remerge();
+    }
     last = 0;
     return;
   }
@@ -158,15 +175,21 @@ Status Nautilus::do_merge_from_comm_page() {
 }
 
 Status Nautilus::remerge() {
-  if (ros_cr3_ == 0) return err(Err::kState, "no ROS CR3 recorded");
+  MV_RETURN_IF_ERROR(remerge_root(cr3_, ros_cr3_));
+  if (merged_) ++remerges_;
+  return Status::ok();
+}
+
+Status Nautilus::remerge_root(std::uint64_t dst_root, std::uint64_t src_cr3) {
+  if (src_cr3 == 0) return err(Err::kState, "no ROS CR3 recorded");
   hw::Core& core = machine_->core(boot_core());
   // "Copying the first 256 entries of the PML4 pointed to by the ROS's CR3
   // to the HRT's PML4 and then broadcasting a TLB shootdown to all HRT
   // cores."
   for (int i = 0; i < hw::kUserPml4Entries; ++i) {
     const std::uint64_t entry =
-        machine_->paging().read_pml4_entry(ros_cr3_, i);
-    machine_->paging().write_pml4_entry(cr3_, i, entry);
+        machine_->paging().read_pml4_entry(src_cr3, i);
+    machine_->paging().write_pml4_entry(dst_root, i, entry);
     core.charge(hw::costs().pml4_entry_copy);
   }
   // The initiating core flushes locally as part of the PML4 copy; putting it
@@ -176,8 +199,50 @@ Status Nautilus::remerge() {
     if (c != boot_core()) others.push_back(c);
   }
   machine_->tlb_shootdown(boot_core(), others, /*vaddr=*/0);
-  if (merged_) ++remerges_;
   return Status::ok();
+}
+
+Result<std::uint64_t> Nautilus::boot_tenant(std::uint64_t ros_cr3) {
+  if (!booted_) return err(Err::kState, "boot_tenant before boot");
+  if (ros_cr3 == 0) return err(Err::kInval, "boot_tenant with no ROS CR3");
+  hw::Core& core = machine_->core(boot_core());
+  MV_ASSIGN_OR_RETURN(const std::uint64_t root, machine_->paging().new_root());
+  // Sparse stamp: walk both template PML4s (the tenant process's CR3 for the
+  // user half, the boot root for the shared higher half) and copy only the
+  // present entries. Reading a slot is one memory access; copying one is the
+  // modeled PML4-entry copy. A sparse address space stamps in a few dozen
+  // entries — microseconds against the ~2.2 ms firmware + kernel-init boot.
+  for (int i = 0; i < hw::kPml4Entries; ++i) {
+    const std::uint64_t src = i < hw::kUserPml4Entries ? ros_cr3 : cr3_;
+    core.charge(hw::costs().mem_access);
+    const std::uint64_t entry = machine_->paging().read_pml4_entry(src, i);
+    if (entry != 0) {
+      machine_->paging().write_pml4_entry(root, i, entry);
+      core.charge(hw::costs().pml4_entry_copy);
+    }
+  }
+  return root;
+}
+
+void Nautilus::drop_tenant_root(std::uint64_t root) {
+  if (root == 0 || root == cr3_) return;
+  // Every PML4 entry is borrowed (user half from the tenant process, higher
+  // half from the boot root): zero them so free_hierarchy releases only the
+  // root frame itself.
+  for (int i = 0; i < hw::kPml4Entries; ++i) {
+    machine_->paging().write_pml4_entry(root, i, 0);
+  }
+  machine_->paging().free_hierarchy(root);
+  for (const unsigned c : boot_info_.hrt_cores) {
+    hw::Core& core = machine_->core(c);
+    if (core.cr3() == root) core.write_cr3(cr3_);
+  }
+}
+
+void Nautilus::detach_channel(LegacyChannel* channel) {
+  for (const auto& t : threads_) {
+    if (t->channel == channel) t->channel = nullptr;
+  }
 }
 
 Status Nautilus::on_hvm_event(vmm::HrtEventKind kind) {
@@ -223,6 +288,10 @@ void Nautilus::bind_function(std::uint64_t hrt_vaddr,
   functions_[hrt_vaddr] = std::move(fn);
 }
 
+void Nautilus::unbind_function(std::uint64_t hrt_vaddr) {
+  functions_.erase(hrt_vaddr);
+}
+
 Result<std::uint64_t> Nautilus::call_function(std::uint64_t hrt_vaddr,
                                               std::uint64_t arg) {
   const auto it = functions_.find(hrt_vaddr);
@@ -259,6 +328,12 @@ Result<NautThread*> Nautilus::thread_create(std::function<void()> body,
   }
   thread->nested = nested;
   thread->channel = channel;
+  // Nested threads run in their creator's tenant address space; top-level
+  // threads start on the boot root until the runtime stamps a tenant root.
+  if (NautThread* creator = current_thread()) {
+    thread->cr3 = creator->cr3;
+    thread->tenant_ros_cr3 = creator->tenant_ros_cr3;
+  }
   NautThread* raw = thread.get();
   threads_.push_back(std::move(thread));
 
@@ -468,23 +543,32 @@ std::vector<Result<std::uint64_t>> Nautilus::syscall_stub_batch(
   return out;
 }
 
+// Lazily activate the current thread's address-space root: a tenant thread
+// scheduled onto a core another tenant last used must run on its own root.
+// Single-tenant threads keep cr3 == 0 and the core already holds the boot
+// root, so the write (a real CR3 load: register ops plus a TLB flush) only
+// ever happens — and is only ever charged — on actual tenant switches.
+hw::Core& Nautilus::activated_core(NautThread* t) {
+  hw::Core& core = machine_->core(t != nullptr ? t->core : boot_core());
+  const std::uint64_t want = (t != nullptr && t->cr3 != 0) ? t->cr3 : cr3_;
+  if (core.cr3() != want) core.write_cr3(want);
+  return core;
+}
+
 Status Nautilus::hrt_mem_read(std::uint64_t vaddr, void* out,
                               std::uint64_t len) {
-  NautThread* t = current_thread();
-  hw::Core& core = machine_->core(t != nullptr ? t->core : boot_core());
+  hw::Core& core = activated_core(current_thread());
   return core.mem_read(vaddr, out, len);
 }
 
 Status Nautilus::hrt_mem_write(std::uint64_t vaddr, const void* in,
                                std::uint64_t len) {
-  NautThread* t = current_thread();
-  hw::Core& core = machine_->core(t != nullptr ? t->core : boot_core());
+  hw::Core& core = activated_core(current_thread());
   return core.mem_write(vaddr, in, len);
 }
 
 Status Nautilus::hrt_mem_touch(std::uint64_t vaddr, hw::Access access) {
-  NautThread* t = current_thread();
-  hw::Core& core = machine_->core(t != nullptr ? t->core : boot_core());
+  hw::Core& core = activated_core(current_thread());
   return core.mem_touch(vaddr, access);
 }
 

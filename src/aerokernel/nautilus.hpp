@@ -61,6 +61,11 @@ struct NautThread {
   bool exited = false;
   LegacyChannel* channel = nullptr;  // inherited by nested threads
   std::uint64_t fs_base = 0;         // superposed ROS TLS state
+  // Per-tenant address-space root (0 = the kernel's boot root). Stamped by
+  // the Multiverse runtime on a tenant's top-level threads and inherited by
+  // nested threads; the kernel lazily activates it on memory access.
+  std::uint64_t cr3 = 0;
+  std::uint64_t tenant_ros_cr3 = 0;  // the owning tenant process's CR3
   std::vector<TaskId> joiners;
 };
 
@@ -82,6 +87,11 @@ class Nautilus final : public vmm::HrtKernelIface {
   Status boot(const vmm::BootInfo& info) override;
   void reboot() override;
   Status on_hvm_event(vmm::HrtEventKind kind) override;
+  // Cached-image tenant boot (kBootTenant): stamp a fresh PML4 whose user
+  // half merges `ros_cr3` and whose higher half shares the boot root's
+  // subtrees copy-on-write. No firmware bring-up, no image reinstall — the
+  // sparse stamp plus one hypercall round trip is the entire cost.
+  Result<std::uint64_t> boot_tenant(std::uint64_t ros_cr3) override;
 
   [[nodiscard]] bool booted() const noexcept { return booted_; }
   [[nodiscard]] std::uint64_t root_cr3() const noexcept { return cr3_; }
@@ -102,8 +112,15 @@ class Nautilus final : public vmm::HrtKernelIface {
   // override layer dispatch through this.
   void bind_function(std::uint64_t hrt_vaddr,
                      std::function<std::uint64_t(std::uint64_t)> fn);
+  // Drop a binding again (one-shot trampolines, e.g. per-invocation launch
+  // stubs, would otherwise accumulate in the registry for the kernel's
+  // lifetime). Unknown addresses are ignored.
+  void unbind_function(std::uint64_t hrt_vaddr);
   Result<std::uint64_t> call_function(std::uint64_t hrt_vaddr,
                                       std::uint64_t arg);
+  [[nodiscard]] std::size_t bound_function_count() const noexcept {
+    return functions_.size();
+  }
 
   // --- threads (the paper: primitives that "outperform Linux by orders of
   // --- magnitude") -----------------------------------------------------------
@@ -147,6 +164,14 @@ class Nautilus final : public vmm::HrtKernelIface {
 
   // Explicit PML4 re-merge from the stored ROS CR3 (repeat-fault path).
   Status remerge();
+  // Tenant teardown: free a root minted by boot_tenant (every PML4 entry is
+  // borrowed — user half from the tenant process, higher half from the boot
+  // root — so only the root frame itself is released) and repoint any HRT
+  // core still running on it back to the boot root.
+  void drop_tenant_root(std::uint64_t root);
+  // Null every thread's reference to a channel about to be destroyed, so a
+  // stale slot in the threads_ table can never forward into freed memory.
+  void detach_channel(LegacyChannel* channel);
   [[nodiscard]] bool merged() const noexcept { return merged_; }
   [[nodiscard]] std::uint64_t merged_ros_cr3() const noexcept {
     return ros_cr3_;
@@ -169,12 +194,22 @@ class Nautilus final : public vmm::HrtKernelIface {
 
  private:
   [[nodiscard]] std::size_t live_thread_count_internal() const;
+  // Resolve the core `t` runs on and lazily load its tenant root (or the
+  // boot root) into CR3 when the core last ran a different tenant.
+  hw::Core& activated_core(NautThread* t);
   void install_idt();
   void page_fault_handler(hw::Core& core, const hw::InterruptFrame& frame);
   Status do_merge_from_comm_page();
+  // Copy the user half of `src_cr3`'s PML4 into `dst_root` and shoot down
+  // the other HRT cores (the paper's merge, parameterized by root for
+  // per-tenant re-merges).
+  Status remerge_root(std::uint64_t dst_root, std::uint64_t src_cr3);
   // Lazily extend the higher-half identity map (real Nautilus uses huge
-  // pages; we materialize 4 KiB mappings on first touch).
-  Status map_higher_half_page(std::uint64_t vaddr);
+  // pages; we materialize 4 KiB mappings on first touch). All page tables
+  // land under the boot root; `active_root` (the faulting core's CR3) only
+  // gets the PML4 slot refreshed when it is a tenant root, so tenant roots
+  // never own higher-half subtrees.
+  Status map_higher_half_page(std::uint64_t vaddr, std::uint64_t active_root);
 
   hw::Machine* machine_;
   Sched* sched_;

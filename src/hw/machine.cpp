@@ -44,17 +44,20 @@ Status Machine::send_ipi(unsigned from, unsigned to, std::uint8_t vector,
 void Machine::shootdown_ipi_round(Core& init, unsigned target) {
   init.charge(costs().tlb_shootdown_ipi);
   ++ipis_sent_;
-  if (fault_plan_ != nullptr &&
-      fault_plan_->should_inject(FaultClass::kDropShootdownIpi,
-                                 init.cycles())) {
+  // Multi-tenant runs resolve the governing plan by initiating core so one
+  // tenant's IPI-fault schedule never perturbs another tenant's shootdowns.
+  FaultPlan* plan =
+      ipi_fault_resolver_ ? ipi_fault_resolver_(init.id()) : fault_plan_;
+  if (plan != nullptr &&
+      plan->should_inject(FaultClass::kDropShootdownIpi, init.cycles())) {
     // The IPI was lost on the wire. The initiator's ack timeout expires and
     // it resends — a full extra round. Recovery is bounded and local, so the
     // invalidation below still happens; only latency (and the IPI count)
     // shows the fault.
-    fault_plan_->note_injected(FaultClass::kDropShootdownIpi);
+    plan->note_injected(FaultClass::kDropShootdownIpi);
     init.charge(costs().tlb_shootdown_ipi);
     ++ipis_sent_;
-    fault_plan_->note_recovered(FaultClass::kDropShootdownIpi);
+    plan->note_recovered(FaultClass::kDropShootdownIpi);
   }
   (void)target;
 }

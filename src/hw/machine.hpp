@@ -5,6 +5,7 @@
 // shootdowns and HVM event doorbells).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -73,6 +74,15 @@ class Machine {
   // the machine's use of it; nullptr disables injection.
   void set_fault_plan(FaultPlan* plan) noexcept { fault_plan_ = plan; }
 
+  // Per-initiator-core fault-plan resolution for multi-tenant runs: when
+  // installed, the resolver maps a shootdown's initiating core to the plan
+  // that governs it (nullptr = no injection for that initiator), replacing
+  // the machine-wide plan above. nullptr restores single-plan behavior.
+  using IpiFaultResolver = std::function<FaultPlan*(unsigned initiator)>;
+  void set_ipi_fault_resolver(IpiFaultResolver fn) {
+    ipi_fault_resolver_ = std::move(fn);
+  }
+
   [[nodiscard]] std::uint64_t ipis_sent() const noexcept { return ipis_sent_; }
 
  private:
@@ -86,6 +96,7 @@ class Machine {
   std::vector<std::unique_ptr<Core>> cores_;
   std::uint64_t ipis_sent_ = 0;
   FaultPlan* fault_plan_ = nullptr;
+  IpiFaultResolver ipi_fault_resolver_;
 };
 
 }  // namespace mv::hw

@@ -135,6 +135,19 @@ Result<OverrideConfig> parse_override_config(const std::string& text) {
                             lineno));
         }
         config.options.service_workers = workers;
+      } else if (tokens[1] == "tenants") {
+        int tenants = 0;
+        try {
+          tenants = std::stoi(tokens[2]);
+        } catch (...) {
+          tenants = 0;
+        }
+        if (tenants < 1) {
+          return err(Err::kParse,
+                     strfmt("line %d: tenants wants a positive integer",
+                            lineno));
+        }
+        config.options.tenants = tenants;
       } else if (tokens[1] == "hrt_placement") {
         if (tokens[2] == "round_robin") {
           config.options.hrt_placement = HrtPlacement::kRoundRobin;

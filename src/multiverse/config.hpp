@@ -65,6 +65,10 @@ struct ToolchainOptions {
   // sharded across (channel id modulo worker count). 1 (default) keeps the
   // single-daemon footprint.
   int service_workers = 1;
+  // Maximum number of concurrent tenants the runtime will host. 1 (default)
+  // keeps the single-guest model: tenant_create beyond the implicit tenant 0
+  // fails, and nothing multi-tenant is ever allocated.
+  int tenants = 1;
   // Placement policy for top-level HRT threads.
   HrtPlacement hrt_placement = HrtPlacement::kRoundRobin;
   // Stall watchdog: flag an in-flight request once its age exceeds this

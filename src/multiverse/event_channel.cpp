@@ -45,6 +45,9 @@ EventChannel::EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
 
 EventChannel::~EventChannel() {
   FlightRecorder::instance().unregister_state_providers(this);
+  // Return the ring page to the HRT allocator's freelist — channel churn
+  // (tenant destroy/recreate) must not leak HRT physical memory.
+  if (page_ != 0) hvm_->hrt_free(page_, hw::kPageSize);
 }
 
 Status EventChannel::init() {

@@ -39,11 +39,12 @@ Result<std::uint64_t> HrtCtx::syscall(ros::SysNr nr,
   // lookup); the resolved vaddr is cached in the table entry, so steady-state
   // calls charge no lookup at all.
   naut::Nautilus& naut = rt_->naut();
-  HybridizationGovernor* gov = rt_->governor();
+  HybridizationGovernor* gov = rt_->governor_for(group_->tenant);
   naut::NautThread* self = naut.current_thread();
   const unsigned core_id = self != nullptr ? self->core : naut.boot_core();
   hw::Core& core = rt_->hvm().machine().core(core_id);
-  if (OverrideEntry* entry = rt_->find_override(nr); entry != nullptr) {
+  if (OverrideEntry* entry = rt_->find_override(nr, group_->tenant);
+      entry != nullptr) {
     // Injected override failure: demote the family and fall through to the
     // forwarded path below — the call completes either way.
     const bool injected =
@@ -53,7 +54,8 @@ Result<std::uint64_t> HrtCtx::syscall(ros::SysNr nr,
     } else {
       MV_RETURN_IF_ERROR(rt_->warm_override(*entry, core_id));
       const std::uint64_t begin = core.cycles();
-      auto result = rt_->kernel_mode_memop(nr, args, core_id);
+      auto result =
+          rt_->kernel_mode_memop(nr, args, core_id, group_->owner_proc);
       const Err code = result.code();
       if (code != Err::kUnsupported && code != Err::kState) {
         // Success — or a genuine syscall error (kInval etc.) forwarding
@@ -85,7 +87,7 @@ std::vector<Result<std::uint64_t>> HrtCtx::syscall_batch(
   std::vector<Result<std::uint64_t>> out(reqs.size(),
                                          err(Err::kAgain, "batch pending"));
   naut::Nautilus& naut = rt_->naut();
-  HybridizationGovernor* gov = rt_->governor();
+  HybridizationGovernor* gov = rt_->governor_for(group_->tenant);
   naut::NautThread* self = naut.current_thread();
   const unsigned core_id = self != nullptr ? self->core : naut.boot_core();
   hw::Core& core = rt_->hvm().machine().core(core_id);
@@ -113,7 +115,7 @@ std::vector<Result<std::uint64_t>> HrtCtx::syscall_batch(
   };
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     // Same dispatch decision as the single-call path, via the same table.
-    if (rt_->find_override(reqs[i].nr) != nullptr ||
+    if (rt_->find_override(reqs[i].nr, group_->tenant) != nullptr ||
         reqs[i].nr == ros::SysNr::kExitGroup) {
       // Overridden memory calls execute kernel-mode (never forwarded) and
       // exits must keep their group-finished side effect; flushing the
@@ -147,8 +149,10 @@ ros::TimeVal HrtCtx::vdso_gettimeofday() {
   // from the HRT — this call never touches the event channel. The paper
   // measured these *slightly faster* than in the ROS, attributing it to the
   // sparsely populated TLB on the HRT core (modeled as slightly cheaper
-  // vdso code execution).
-  ros::Process& proc = *group_->partner->proc;
+  // vdso code execution). Attributed to the group's owning process — in
+  // shared-daemon mode the partner is a pool worker that may belong to
+  // another tenant.
+  ros::Process& proc = *group_->owner_proc;
   ++proc.vdso_gtod_calls;
   rt_->linux().refresh_vvar(proc);
   naut::Nautilus& naut = rt_->naut();
@@ -172,7 +176,7 @@ ros::TimeVal HrtCtx::vdso_gettimeofday() {
 }
 
 std::uint64_t HrtCtx::vdso_getpid() {
-  ros::Process& proc = *group_->partner->proc;
+  ros::Process& proc = *group_->owner_proc;
   ++proc.vdso_getpid_calls;
   naut::Nautilus& naut = rt_->naut();
   naut::NautThread* self = naut.current_thread();
@@ -237,7 +241,7 @@ Status HrtCtx::sigaction(int sig, ros::GuestSigHandler handler) {
       syscall(ros::SysNr::kRtSigaction,
               {static_cast<std::uint64_t>(sig), 0, 0, 0, 0, 0})
           .status());
-  ros::Process& proc = *group_->partner->proc;
+  ros::Process& proc = *group_->owner_proc;
   if (sig < 0 || sig >= ros::kNumSignals) return err(Err::kInval);
   proc.sig[static_cast<std::size_t>(sig)] =
       ros::SigEntry{std::move(handler), true, false};
@@ -251,7 +255,7 @@ void HrtCtx::charge_user(std::uint64_t cycles) {
       .machine()
       .core(self != nullptr ? self->core : naut.boot_core())
       .charge(cycles);
-  group_->partner->proc->utime_cycles += cycles;
+  group_->owner_proc->utime_cycles += cycles;
 }
 
 Result<std::uint64_t> HrtCtx::aerokernel_call(std::string_view symbol,
@@ -280,6 +284,10 @@ MultiverseRuntime::~MultiverseRuntime() {
   // machine afterwards) — detach them before the plan is freed.
   hvm_->set_fault_plan(nullptr);
   hvm_->machine().set_fault_plan(nullptr);
+  // The per-tenant resolvers capture `this`; clear them even if no tenant was
+  // ever created (the setters are cheap and idempotent).
+  hvm_->set_doorbell_fault_resolver(nullptr);
+  hvm_->machine().set_ipi_fault_resolver(nullptr);
   FlightRecorder::instance().unregister_state_providers(this);
 }
 
@@ -466,6 +474,12 @@ Result<ExecGroup*> MultiverseRuntime::create_group(ros::Thread& caller,
   group->id = next_group_id_++;
   group->runtime = this;
   group->body = std::move(fn);
+  group->owner_proc = caller.proc;
+  if (const auto tit = tenants_by_proc_.find(caller.proc);
+      tit != tenants_by_proc_.end()) {
+    group->tenant = tit->second;
+    group->tenant->group_ids.push_back(group->id);
+  }
   // Place the group's top-level HRT thread across the partition (not pinned
   // to the boot core); the channel is bound to the same core so its cycle
   // clock and doorbells track the thread that actually uses it.
@@ -481,7 +495,12 @@ Result<ExecGroup*> MultiverseRuntime::create_group(ros::Thread& caller,
       static_cast<unsigned>(config_.options.ring_depth));
   group->channel->set_watchdog_multiple(
       static_cast<unsigned>(std::max(0, config_.options.watchdog)));
-  if (fault_plan_ != nullptr) group->channel->set_fault_plan(fault_plan_.get());
+  // Recovery faults come from the owning tenant's plan; a tenant with no
+  // plan gets a fault-free channel even when the runtime-wide plan injects.
+  FaultPlan* chan_plan =
+      group->tenant != nullptr ? group->tenant->fault_plan.get()
+                               : fault_plan_.get();
+  if (chan_plan != nullptr) group->channel->set_fault_plan(chan_plan);
   MV_RETURN_IF_ERROR(group->channel->init());
 
   ExecGroup* raw = group.get();
@@ -541,6 +560,7 @@ Status MultiverseRuntime::launch_hrt_thread(ExecGroup* group,
 
   // Register the one-shot trampoline the HVM function-call event will run.
   const std::uint64_t invocation = next_invocation_id_++;
+  group->invocation_id = invocation;
   MultiverseRuntime* rt = this;
   naut_->bind_function(invocation, [rt, group](std::uint64_t) -> std::uint64_t {
     naut::NautThread* self = rt->naut_->current_thread();
@@ -548,6 +568,12 @@ Status MultiverseRuntime::launch_hrt_thread(ExecGroup* group,
     // Adopt the group's channel and apply the state superpositions.
     self->channel = group->channel.get();
     self->fs_base = group->fs_base;
+    if (group->tenant != nullptr) {
+      // Tenant threads run on the tenant's stamped address-space root; the
+      // kernel activates it lazily and nested threads inherit it.
+      self->cr3 = group->tenant->hrt_root;
+      self->tenant_ros_cr3 = group->tenant->ros_cr3;
+    }
     hw::Core& hcore = rt->hvm_->machine().core(self->core);
     hcore.load_gdt(group->gdt);
     hcore.set_fs_base(group->fs_base);
@@ -888,13 +914,15 @@ Status MultiverseRuntime::warm_override(OverrideEntry& entry, unsigned core) {
 }
 
 Result<std::uint64_t> MultiverseRuntime::kernel_mode_memop(
-    ros::SysNr nr, std::array<std::uint64_t, 6> args, unsigned hrt_core) {
+    ros::SysNr nr, std::array<std::uint64_t, 6> args, unsigned hrt_core,
+    ros::Process* proc) {
   // Kernel-mode page-table manipulation: no ring crossing, no forwarding, no
   // VMM exits — "page table edits combined with page faults, all of which
   // can occur hundreds of times faster within the kernel".
-  if (process_ == nullptr) return err(Err::kState, "no process");
+  if (proc == nullptr) proc = process_;
+  if (proc == nullptr) return err(Err::kState, "no process");
   hw::Core& core = hvm_->machine().core(hrt_core);
-  ros::AddressSpace& as = *process_->as;
+  ros::AddressSpace& as = *proc->as;
   switch (nr) {
     case ros::SysNr::kMmap:
       core.charge(220);
@@ -918,6 +946,154 @@ Result<std::uint64_t> MultiverseRuntime::kernel_mode_memop(
     default:
       return err(Err::kUnsupported, "no kernel-mode variant");
   }
+}
+
+// --- multi-tenant hosting ----------------------------------------------------
+
+Result<int> MultiverseRuntime::tenant_create(ros::Thread& caller,
+                                             const std::string& fault_spec) {
+  if (!started_) return err(Err::kState, "Multiverse runtime not started");
+  if (caller.proc == process_) {
+    return err(Err::kInval, "the startup process is already tenant 0");
+  }
+  if (tenants_by_proc_.count(caller.proc) != 0) {
+    return err(Err::kExist, "process already owns a tenant");
+  }
+  // The implicit tenant 0 counts against the cap.
+  if (tenant_count() >=
+      static_cast<std::size_t>(std::max(1, config_.options.tenants))) {
+    return err(Err::kAgain, "tenant cap reached (option tenants)");
+  }
+
+  auto tenant = std::make_unique<Tenant>();
+  tenant->id = next_tenant_id_++;
+  tenant->proc = caller.proc;
+  tenant->ros_cr3 = caller.proc->as->cr3();
+  if (!fault_spec.empty()) {
+    MV_ASSIGN_OR_RETURN(FaultPlan plan, FaultPlan::parse(fault_spec));
+    tenant->fault_plan = std::make_unique<FaultPlan>(std::move(plan));
+  }
+  // Per-tenant override dispatch, seeded from the same embedded config as
+  // the runtime-wide table, with its own governor when hybridization is on —
+  // promotions in one tenant must never flip another tenant's calls.
+  tenant->override_table = std::make_unique<OverrideTable>();
+  for (std::size_t i = 0; i < kSysFamilyCount; ++i) {
+    const auto family = static_cast<SysFamily>(i);
+    OverrideEntry& entry = tenant->override_table->at(family);
+    entry.spec = config_.find(family_name(family));
+    entry.active = entry.spec != nullptr;
+    entry.kernel_vaddr = 0;
+  }
+  if (config_.options.hybridize.enabled) {
+    tenant->governor = std::make_unique<HybridizationGovernor>(
+        config_.options.hybridize, *tenant->override_table, *naut_,
+        hvm_->machine(), tenant->fault_plan.get());
+  }
+
+  // Cached-image boot: one hypercall, one sparse PML4 stamp — no firmware
+  // bring-up, no image reinstall. Measured on both cycle domains it touches
+  // (the caller's ROS core and the HRT boot core) so the density bench can
+  // hold it against the ~2.2 ms cold path.
+  hw::Core& caller_core = linux_->core_of(caller);
+  hw::Core& boot_core = hvm_->machine().core(naut_->boot_core());
+  const Cycles caller_before = caller_core.cycles();
+  const Cycles boot_before = boot_core.cycles();
+  MV_ASSIGN_OR_RETURN(tenant->hrt_root,
+                      hvm_->hypercall(caller.core, vmm::Hypercall::kBootTenant,
+                                      tenant->ros_cr3));
+  tenant->boot_cycles = (caller_core.cycles() - caller_before) +
+                        (boot_core.cycles() - boot_before);
+
+  // Extend the tenant address space's TLB coherency domain to the HRT cores,
+  // exactly as startup does for tenant 0's merge.
+  std::vector<unsigned> domain = caller.proc->as->coherency_domain();
+  for (const unsigned c : hvm_->config().hrt_cores) domain.push_back(c);
+  caller.proc->as->set_coherency_domain(std::move(domain));
+
+  install_tenant_fault_resolvers();
+
+  metrics::Registry& reg = metrics::Registry::instance();
+  reg.counter("mv/tenant/created").inc();
+  reg.histogram("mv/tenant/boot_cycles")
+      .record(static_cast<double>(tenant->boot_cycles));
+  tenant_boot_history_.push_back(tenant->boot_cycles);
+
+  Tenant* raw = tenant.get();
+  tenants_by_proc_[raw->proc] = raw;
+  tenants_by_root_[raw->hrt_root] = raw;
+  tenants_[raw->id] = std::move(tenant);
+  return raw->id;
+}
+
+Status MultiverseRuntime::tenant_destroy(int tenant_id) {
+  const auto tit = tenants_.find(tenant_id);
+  if (tit == tenants_.end()) return err(Err::kNoEnt, "no such tenant");
+  Tenant* tenant = tit->second.get();
+  for (const int gid : tenant->group_ids) {
+    const auto git = groups_by_id_.find(gid);
+    if (git != groups_by_id_.end() && !git->second->finished) {
+      return err(Err::kState, "tenant_destroy with live execution groups");
+    }
+  }
+  for (const int gid : tenant->group_ids) {
+    const auto git = groups_by_id_.find(gid);
+    if (git != groups_by_id_.end()) destroy_group(git->second);
+  }
+  naut_->drop_tenant_root(tenant->hrt_root);
+  tenants_by_root_.erase(tenant->hrt_root);
+  tenants_by_proc_.erase(tenant->proc);
+  tenants_.erase(tit);
+  metrics::Registry::instance().counter("mv/tenant/destroyed").inc();
+  return Status::ok();
+}
+
+void MultiverseRuntime::destroy_group(ExecGroup* group) {
+  release_core_load(*group);
+  if (group->channel) naut_->detach_channel(group->channel.get());
+  for (ServiceWorker& worker : workers_) {
+    worker.ready.erase(
+        std::remove(worker.ready.begin(), worker.ready.end(), group),
+        worker.ready.end());
+    worker.groups.erase(
+        std::remove(worker.groups.begin(), worker.groups.end(), group),
+        worker.groups.end());
+  }
+  if (group->invocation_id != 0) naut_->unbind_function(group->invocation_id);
+  groups_by_id_.erase(group->id);
+  if (const auto it = groups_by_hrt_tid_.find(group->hrt_tid);
+      it != groups_by_hrt_tid_.end() && it->second == group) {
+    groups_by_hrt_tid_.erase(it);
+  }
+  for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+    if (it->get() == group) {
+      groups_.erase(it);  // frees the channel: ring page, providers, watchdog
+      break;
+    }
+  }
+}
+
+void MultiverseRuntime::install_tenant_fault_resolvers() {
+  if (fault_resolvers_installed_) return;
+  fault_resolvers_installed_ = true;
+  // Doorbell faults resolve by channel id == group id: the owning tenant's
+  // plan governs, tenant-0 and unknown channels keep the runtime-wide plan.
+  hvm_->set_doorbell_fault_resolver(
+      [this](std::uint64_t chan_id) -> FaultPlan* {
+        const auto it = groups_by_id_.find(static_cast<int>(chan_id));
+        if (it == groups_by_id_.end()) return fault_plan_.get();
+        Tenant* tenant = it->second->tenant;
+        return tenant != nullptr ? tenant->fault_plan.get() : fault_plan_.get();
+      });
+  // Shootdown IPIs resolve by the initiating kernel thread's address-space
+  // root. A root no tenant owns (e.g. mid-destroy) injects nothing.
+  hvm_->machine().set_ipi_fault_resolver([this](unsigned) -> FaultPlan* {
+    naut::NautThread* nt = naut_->current_thread();
+    const std::uint64_t root = nt != nullptr ? nt->cr3 : 0;
+    if (root == 0) return fault_plan_.get();
+    const auto it = tenants_by_root_.find(root);
+    return it == tenants_by_root_.end() ? nullptr
+                                        : it->second->fault_plan.get();
+  });
 }
 
 }  // namespace mv::multiverse

@@ -28,10 +28,41 @@ namespace mv::multiverse {
 
 class MultiverseRuntime;
 
+// One tenant: an independent guest sharing the machine, the ROS, and the
+// service pool with every other tenant, but owning its execution groups,
+// event channels, fault plan, and hybridization state. Tenant 0 is implicit:
+// the process that ran startup() owns groups with tenant == nullptr and uses
+// the runtime-wide plan/table/governor, so a single-tenant run allocates
+// nothing here.
+struct Tenant {
+  int id = 0;
+  ros::Process* proc = nullptr;  // the tenant's ROS process
+  std::uint64_t hrt_root = 0;    // per-tenant HRT address-space root
+  std::uint64_t ros_cr3 = 0;     // the tenant process's CR3
+  Cycles boot_cycles = 0;        // measured cached-image boot cost
+  // Per-tenant fault plan (null = no injection for this tenant's channels
+  // and shootdowns) and hybridization state, so one tenant's fault schedule
+  // or runtime promotions never leak into another's.
+  std::unique_ptr<FaultPlan> fault_plan;
+  std::unique_ptr<OverrideTable> override_table;
+  std::unique_ptr<HybridizationGovernor> governor;
+  std::vector<int> group_ids;  // groups this tenant created
+};
+
 // One execution group: a top-level HRT thread paired with its ROS partner.
 struct ExecGroup {
   int id = 0;
   MultiverseRuntime* runtime = nullptr;
+  // Owning tenant (nullptr = the implicit tenant 0) and the process that
+  // created the group. In dedicated-partner mode owner_proc equals the
+  // partner's process; in shared-daemon mode the partner is a pool worker
+  // whose process may belong to another tenant, so per-process state (vdso
+  // counters, signal table, utime) must go through owner_proc.
+  Tenant* tenant = nullptr;
+  ros::Process* owner_proc = nullptr;
+  // The one-shot HVM invocation trampoline registered for this group's
+  // launch (unbound again when the group is destroyed).
+  std::uint64_t invocation_id = 0;
   std::unique_ptr<EventChannel> channel;
   ros::Thread* partner = nullptr;
   int hrt_tid = -1;                 // Nautilus thread id, set after creation
@@ -138,6 +169,43 @@ class MultiverseRuntime {
   Result<int> hrt_thread_create(ros::Thread& caller, ros::GuestThreadFn fn);
   Status hrt_thread_join(ros::Thread& caller, int group_id);
 
+  // ------ multi-tenant hosting ----------------------------------------------
+  // Admit the caller's process as a new tenant: boot its HRT view from the
+  // cached image (kBootTenant — a sparse PML4 stamp over the already-booted
+  // kernel, microseconds against the ~2.2 ms cold boot), give it its own
+  // fault plan (parsed from `fault_spec`, empty = fault-free) and
+  // hybridization state, and associate every group the process later creates
+  // with it. Fails once `option tenants N` is reached. Returns the tenant id.
+  Result<int> tenant_create(ros::Thread& caller,
+                            const std::string& fault_spec = {});
+  // Tear the tenant down: every group it owns must have finished. Destroys
+  // its groups (channels, ring pages, shard membership, trampolines, load
+  // accounting), drops its address-space root, and detaches its fault plan —
+  // a destroy-then-recreate must leave no residue anywhere.
+  Status tenant_destroy(int tenant_id);
+  [[nodiscard]] Tenant* find_tenant(int tenant_id) {
+    const auto it = tenants_.find(tenant_id);
+    return it == tenants_.end() ? nullptr : it->second.get();
+  }
+  // Live tenants, the implicit tenant 0 included.
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return 1 + tenants_.size();
+  }
+  // Cached-boot cost of every tenant_create this run, in creation order
+  // (survives the tenants' destruction — the density bench reads it last).
+  [[nodiscard]] const std::vector<Cycles>& tenant_boot_history()
+      const noexcept {
+    return tenant_boot_history_;
+  }
+  // Force the shared-daemon service pool into existence from `caller`'s
+  // process (no-op in dedicated-partner mode or when it already runs).
+  // Multi-tenant drivers call this from the startup process so pool workers
+  // never land in — and die with — a transient tenant's process.
+  Status warm_service_pool(ros::Thread& caller) {
+    if (group_mode_ != GroupMode::kSharedDaemon) return Status::ok();
+    return ensure_service_pool(caller);
+  }
+
   // ------ accessors -----------------------------------------------------------
   [[nodiscard]] const OverrideConfig& config() const noexcept {
     return config_;
@@ -177,11 +245,22 @@ class MultiverseRuntime {
   [[nodiscard]] HybridizationGovernor* governor() noexcept {
     return governor_.get();
   }
+  // The governor that owns `tenant`'s override table (the runtime-wide one
+  // for the implicit tenant 0).
+  [[nodiscard]] HybridizationGovernor* governor_for(Tenant* tenant) noexcept {
+    return tenant != nullptr ? tenant->governor.get() : governor_.get();
+  }
   // Single source of truth for override dispatch: the active entry for `nr`,
   // or nullptr when the call must forward. Consulted by both HrtCtx::syscall
   // and syscall_batch, so a family can never drift between the two paths.
-  [[nodiscard]] OverrideEntry* find_override(ros::SysNr nr) noexcept {
-    OverrideEntry* entry = override_table_.entry(nr);
+  // Tenants dispatch through their own table so a governor promotion in one
+  // tenant never flips another tenant's calls.
+  [[nodiscard]] OverrideEntry* find_override(ros::SysNr nr,
+                                             Tenant* tenant = nullptr) noexcept {
+    OverrideTable& table = tenant != nullptr && tenant->override_table
+                               ? *tenant->override_table
+                               : override_table_;
+    OverrideEntry* entry = table.entry(nr);
     return entry != nullptr && entry->active ? entry : nullptr;
   }
   [[nodiscard]] const OverrideTable& override_table() const noexcept {
@@ -191,9 +270,12 @@ class MultiverseRuntime {
   // Kernel-mode memory-op overrides (the incremental->accelerator porting
   // path of Sec 5's conclusion: mmap/mprotect "hundreds of times faster
   // within the kernel").
+  // `proc` selects whose address space the op edits; nullptr keeps the
+  // startup process (the single-tenant behavior).
   Result<std::uint64_t> kernel_mode_memop(ros::SysNr nr,
                                           std::array<std::uint64_t, 6> args,
-                                          unsigned hrt_core);
+                                          unsigned hrt_core,
+                                          ros::Process* proc = nullptr);
 
  private:
   friend class HrtCtx;
@@ -214,6 +296,14 @@ class MultiverseRuntime {
   };
 
   Result<ExecGroup*> create_group(ros::Thread& caller, ros::GuestThreadFn fn);
+  // Erase one finished group everywhere it is referenced: placement load,
+  // the kernel's channel pointers, shard ready deques and group lists, the
+  // invocation trampoline, and the id indexes. Destroying the group frees
+  // its channel (ring page, providers, watchdog state) with it.
+  void destroy_group(ExecGroup* group);
+  // First tenant_create installs the per-tenant fault-plan resolvers on the
+  // HVM (by doorbell channel) and the machine (by shootdown initiator).
+  void install_tenant_fault_resolvers();
   void partner_body(ExecGroup* group, ros::SysIface& pctx);
   // Shared-daemon service-pool internals.
   Status ensure_service_pool(ros::Thread& caller);
@@ -266,6 +356,13 @@ class MultiverseRuntime {
   // spawns lazily, so kernel-side thread counts lag placement decisions).
   std::size_t next_hrt_core_rr_ = 0;
   std::map<unsigned, int> hrt_core_load_;
+  // Multi-tenant state (all empty at tenants=1).
+  std::map<int, std::unique_ptr<Tenant>> tenants_;
+  std::map<ros::Process*, Tenant*> tenants_by_proc_;
+  std::map<std::uint64_t, Tenant*> tenants_by_root_;
+  int next_tenant_id_ = 1;
+  std::vector<Cycles> tenant_boot_history_;
+  bool fault_resolvers_installed_ = false;
 };
 
 }  // namespace mv::multiverse

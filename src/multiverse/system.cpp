@@ -136,6 +136,107 @@ Result<ProgramResult> HybridSystem::run_hybrid(
   return collect(*proc, start_us, /*hybrid=*/true);
 }
 
+Result<HybridSystem::TenantRunResult> HybridSystem::run_tenants(
+    std::vector<TenantProgram> programs) {
+  if (programs.empty()) {
+    return err(Err::kInval, "run_tenants with no programs");
+  }
+  if (programs.size() == 1) {
+    // Single tenant: exactly the classic path, bitwise identical to it.
+    MV_ASSIGN_OR_RETURN(
+        ProgramResult result,
+        run_hybrid(programs[0].name, std::move(programs[0].guest_main)));
+    TenantRunResult out;
+    out.programs.push_back(std::move(result));
+    return out;
+  }
+  const std::uint64_t start_us = linux_.now_us();
+  MultiverseRuntime* rt = &runtime_;
+  ros::LinuxSim* kernel = &linux_;
+  const std::vector<std::uint8_t>* fat = &fat_binary_;
+  // Shared completion count (cooperative scheduler: no atomicity needed).
+  auto done = std::make_shared<std::size_t>(0);
+  const std::size_t tenants = programs.size() - 1;
+
+  std::vector<ros::Process*> procs(programs.size(), nullptr);
+  // Program 0 is the implicit tenant 0: it boots the stack, warms the
+  // service pool into its own process (pool workers must not live in — and
+  // die with — a transient tenant), serves its workload, and keeps the
+  // system up until every created tenant has finished.
+  MV_ASSIGN_OR_RETURN(
+      procs[0],
+      linux_.spawn(
+          programs[0].name,
+          [rt, kernel, fat, done, tenants,
+           guest_main =
+               std::move(programs[0].guest_main)](ros::SysIface& iface) -> int {
+            (void)iface;
+            ros::Thread* self = kernel->current_thread();
+            assert(self != nullptr);
+            const Status up = rt->startup(*self, *fat);
+            if (!up.is_ok()) {
+              MV_ERROR("multiverse", "startup failed: " + up.to_string());
+              return 127;
+            }
+            if (!rt->warm_service_pool(*self).is_ok()) return 126;
+            int exit_code = 0;
+            const Status st = rt->hrt_invoke_func(
+                *self, [&exit_code, &guest_main](ros::SysIface& hrt_iface) {
+                  exit_code = guest_main(hrt_iface);
+                });
+            if (!st.is_ok()) {
+              MV_ERROR("multiverse",
+                       "hrt_invoke_func failed: " + st.to_string());
+              exit_code = 126;
+            }
+            while (*done < tenants) kernel->sched().yield();
+            (void)rt->shutdown();
+            return exit_code;
+          }));
+  for (std::size_t i = 1; i < programs.size(); ++i) {
+    MV_ASSIGN_OR_RETURN(
+        procs[i],
+        linux_.spawn(
+            programs[i].name,
+            [rt, kernel, done, fault_spec = programs[i].fault_spec,
+             guest_main = std::move(programs[i].guest_main)](
+                ros::SysIface& iface) -> int {
+              (void)iface;
+              ros::Thread* self = kernel->current_thread();
+              assert(self != nullptr);
+              while (!rt->started()) kernel->sched().yield();
+              int exit_code = 0;
+              const auto tenant_id = rt->tenant_create(*self, fault_spec);
+              if (!tenant_id.is_ok()) {
+                MV_ERROR("multiverse", "tenant_create failed: " +
+                                           tenant_id.status().to_string());
+                exit_code = 125;
+              } else {
+                const Status st = rt->hrt_invoke_func(
+                    *self, [&exit_code, &guest_main](ros::SysIface& hrt_iface) {
+                      exit_code = guest_main(hrt_iface);
+                    });
+                if (!st.is_ok()) exit_code = 124;
+                const Status down = rt->tenant_destroy(*tenant_id);
+                if (!down.is_ok()) {
+                  MV_ERROR("multiverse",
+                           "tenant_destroy failed: " + down.to_string());
+                  exit_code = 123;
+                }
+              }
+              ++*done;
+              return exit_code;
+            }));
+  }
+  MV_RETURN_IF_ERROR(linux_.run_all());
+  TenantRunResult out;
+  out.boot_cycles = rt->tenant_boot_history();
+  for (ros::Process* proc : procs) {
+    out.programs.push_back(collect(*proc, start_us, /*hybrid=*/true));
+  }
+  return out;
+}
+
 Result<ProgramResult> HybridSystem::run_accelerator(const std::string& name,
                                                     AcceleratorMain main_fn) {
   const std::uint64_t start_us = linux_.now_us();

@@ -24,6 +24,7 @@
 #include "ros/linux.hpp"
 #include "support/result.hpp"
 #include "support/sched.hpp"
+#include "support/telemetry.hpp"
 #include "vmm/hvm.hpp"
 
 namespace mv::multiverse {
@@ -88,6 +89,30 @@ class HybridSystem {
       const std::string& name,
       std::function<int(ros::SysIface&)> guest_main);
 
+  // One tenant's workload in a multi-tenant run.
+  struct TenantProgram {
+    std::string name;
+    std::function<int(ros::SysIface&)> guest_main;  // runs in the tenant's HRT
+    // Per-tenant deterministic fault spec (empty = fault-free tenant); only
+    // honored for created tenants — program 0 (tenant 0) uses the embedded
+    // config's runtime-wide plan.
+    std::string fault_spec;
+  };
+  struct TenantRunResult {
+    std::vector<ProgramResult> programs;  // one per program, in input order
+    // Cached-image boot cost per tenant_create, in creation order.
+    std::vector<Cycles> boot_cycles;
+  };
+
+  // Host every program as its own tenant in ONE system: program 0 boots the
+  // stack (the implicit tenant 0) and stays up until the others finish; each
+  // later program waits for startup, tenant_creates itself (cached-image
+  // boot), runs hybridized, and destroys its tenant on the way out. The
+  // config must allow the head count (`option tenants N` via
+  // extra_override_config). A single program delegates to run_hybrid and is
+  // bitwise identical to it.
+  Result<TenantRunResult> run_tenants(std::vector<TenantProgram> programs);
+
   // Accelerator-model entry: main runs in the ROS and gets the runtime to
   // raise explicit HRT work (hrt_invoke_func / overridden pthreads).
   using AcceleratorMain = std::function<int(
@@ -116,6 +141,11 @@ class HybridSystem {
   ProgramResult collect(const ros::Process& proc, std::uint64_t start_us,
                         bool hybrid);
 
+  // First member: snapshots the telemetry singletons before any component
+  // (machine clock binding, instrument creation) touches them, and rolls
+  // them back after every component is gone — so a second system booted in
+  // the same process is bitwise identical to a fresh-process boot.
+  TelemetryScope telemetry_;
   SystemConfig config_;
   hw::Machine machine_;
   Sched sched_;

@@ -129,4 +129,14 @@ void Registry::reset() {
   for (auto& [n, h] : histograms_) h->reset();
 }
 
+void Registry::truncate_instruments(std::size_t counters,
+                                    std::size_t histograms) {
+  if (counters < counters_.size()) {
+    counters_.resize(counters);
+  }
+  if (histograms < histograms_.size()) {
+    histograms_.resize(histograms);
+  }
+}
+
 }  // namespace mv::metrics

@@ -83,9 +83,10 @@ class Registry {
   static Registry& instance() noexcept;
 
   // Resolve-by-name; creates on first use. Returned references stay valid
-  // for the process lifetime (reset() zeroes values, it does not erase
-  // instruments). Names use '/'-separated paths, e.g.
-  // "channel/1/latency/syscall/async".
+  // for the lifetime of the TelemetryScope (if any) that was active when the
+  // instrument was created — for the whole process when none was (reset()
+  // zeroes values, it does not erase instruments). Names use '/'-separated
+  // paths, e.g. "channel/1/latency/syscall/async".
   Counter& counter(const std::string& name);
   Histogram& histogram(const std::string& name);
 
@@ -105,6 +106,20 @@ class Registry {
 
   // Zero every instrument (pointers cached by instrumented code stay valid).
   void reset();
+
+  // --- scoped rollback (support/telemetry.hpp) ------------------------------
+  // A TelemetryScope snapshots the instrument counts when a system comes up
+  // and truncates back to them when it goes down, so instruments created
+  // during the system's life are erased and a later system re-creates them
+  // in the same deterministic order a fresh process would. Instruments that
+  // predate the scope are untouched.
+  [[nodiscard]] std::size_t counter_count() const noexcept {
+    return counters_.size();
+  }
+  [[nodiscard]] std::size_t histogram_count() const noexcept {
+    return histograms_.size();
+  }
+  void truncate_instruments(std::size_t counters, std::size_t histograms);
 
  private:
   Registry() = default;

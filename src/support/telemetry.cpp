@@ -1,0 +1,18 @@
+#include "support/telemetry.hpp"
+
+#include "support/metrics.hpp"
+
+namespace mv {
+
+TelemetryScope::TelemetryScope()
+    : counters_at_entry_(metrics::Registry::instance().counter_count()),
+      histograms_at_entry_(metrics::Registry::instance().histogram_count()),
+      span_at_entry_(Tracer::instance().last_span()) {}
+
+TelemetryScope::~TelemetryScope() {
+  metrics::Registry::instance().truncate_instruments(counters_at_entry_,
+                                                     histograms_at_entry_);
+  Tracer::instance().set_last_span(span_at_entry_);
+}
+
+}  // namespace mv

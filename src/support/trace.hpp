@@ -79,6 +79,10 @@ class Tracer {
   // cannot change a single simulated byte or cycle.
   SpanId alloc_span() noexcept { return ++last_span_; }
   [[nodiscard]] SpanId last_span() const noexcept { return last_span_; }
+  // Scoped rollback (support/telemetry.hpp): restore the cursor so a system
+  // booted after a previous one tore down allocates the same id sequence —
+  // and therefore writes the same slot-page bytes — as a fresh process.
+  void set_last_span(SpanId span) noexcept { last_span_ = span; }
 
   // --- event emission (all no-ops while disabled) --------------------------
   // `args_json` (where accepted) is a pre-rendered JSON object body without

@@ -21,6 +21,7 @@ const char* hypercall_name(Hypercall h) noexcept {
     case Hypercall::kSignalRos: return "signal_ros";
     case Hypercall::kRegisterRosSignal: return "register_ros_signal";
     case Hypercall::kRaiseRos: return "raise_ros";
+    case Hypercall::kBootTenant: return "boot_tenant";
     case Hypercall::kCount_: break;
   }
   return "?";
@@ -80,14 +81,33 @@ bool Hvm::is_hrt_core(unsigned core) const {
 }
 
 Result<std::uint64_t> Hvm::hrt_alloc(std::uint64_t bytes) {
+  const std::uint64_t span = hw::page_ceil(bytes);
+  // Exact-size freed ranges are recycled LIFO before the bump cursor grows:
+  // tenant create/destroy cycles allocate the same shapes (channel page,
+  // PML4 root) every time, so churn reaches a steady-state footprint.
+  if (auto it = hrt_freelist_.find(span);
+      it != hrt_freelist_.end() && !it->second.empty()) {
+    const std::uint64_t base = it->second.back();
+    it->second.pop_back();
+    MV_RETURN_IF_ERROR(machine_->mem().reserve_range(base, span));
+    return base;
+  }
   const std::uint64_t base = hw::page_ceil(hrt_bump_);
-  const std::uint64_t end = base + hw::page_ceil(bytes);
+  const std::uint64_t end = base + span;
   if (end > machine_->config().dram_bytes) {
     return err(Err::kNoMem, "HRT partition exhausted");
   }
-  MV_RETURN_IF_ERROR(machine_->mem().reserve_range(base, hw::page_ceil(bytes)));
+  MV_RETURN_IF_ERROR(machine_->mem().reserve_range(base, span));
   hrt_bump_ = end;
   return base;
+}
+
+void Hvm::hrt_free(std::uint64_t base, std::uint64_t bytes) {
+  const std::uint64_t span = hw::page_ceil(bytes);
+  for (std::uint64_t off = 0; off < span; off += hw::kPageSize) {
+    MV_CHECK_OK(machine_->mem().free_frame(base + off));
+  }
+  hrt_freelist_[span].push_back(base);
 }
 
 std::uint64_t Hvm::comm_read(std::uint64_t offset) const {
@@ -250,26 +270,43 @@ Result<std::uint64_t> Hvm::hypercall(unsigned vcore, Hypercall nr,
       count_injection(config_.ros_cores.front(), "inject:doorbell");
       MV_FR_EVENT(config_.ros_cores.front(), FrKind::kDoorbell, 0, a0, a1,
                   "vmm");
-      if (fault_plan_ != nullptr &&
-          fault_plan_->should_inject(FaultClass::kDropDoorbell,
-                                     core.cycles())) {
+      // Multi-tenant runs resolve the governing plan per channel so one
+      // tenant's fault schedule never perturbs another tenant's doorbells;
+      // without a resolver the process-wide plan applies to every channel.
+      FaultPlan* plan = doorbell_fault_resolver_ ? doorbell_fault_resolver_(a0)
+                                                 : fault_plan_;
+      if (plan != nullptr &&
+          plan->should_inject(FaultClass::kDropDoorbell, core.cycles())) {
         // The doorbell event vanished inside the VMM: the hypercall itself
         // succeeded (the guest cannot tell), delivery never happens. The
         // channel's deadline/retry machinery is what recovers.
-        fault_plan_->note_injected(FaultClass::kDropDoorbell);
+        plan->note_injected(FaultClass::kDropDoorbell);
         return std::uint64_t{0};
       }
       ros_doorbell_(a0, a1);
-      if (fault_plan_ != nullptr &&
-          fault_plan_->should_inject(FaultClass::kDupDoorbell,
-                                     core.cycles())) {
+      if (plan != nullptr &&
+          plan->should_inject(FaultClass::kDupDoorbell, core.cycles())) {
         // Duplicated delivery: the wake path is idempotent (unblocking a
         // runnable server is a no-op), so the dup is absorbed on the spot.
-        fault_plan_->note_injected(FaultClass::kDupDoorbell);
+        plan->note_injected(FaultClass::kDupDoorbell);
         ros_doorbell_(a0, a1);
-        fault_plan_->note_recovered(FaultClass::kDupDoorbell);
+        plan->note_recovered(FaultClass::kDupDoorbell);
       }
       return std::uint64_t{0};
+    }
+    case Hypercall::kBootTenant: {
+      MV_RETURN_IF_ERROR(check_partition_boot_state(vcore));
+      if (!hrt_booted_) return err(Err::kState, "HRT not booted");
+      // Cached-image boot: the installed image and the booted kernel are
+      // reused as-is — no firmware bring-up, no image copy. The kernel only
+      // stamps a fresh address-space root whose higher half shares the boot
+      // root's subtrees (copy-on-write template) and whose user half merges
+      // the tenant process's CR3 (a0). Cost is one hypercall round trip plus
+      // the sparse PML4 stamp, microseconds against the ~2.2 ms cold boot.
+      comm_write(CommPage::kOffRosCr3, a0);
+      machine_->core(vcore).charge(hw::costs().event_inject);
+      count_injection(config_.hrt_cores.front(), "inject:boot_tenant");
+      return hrt_->boot_tenant(a0);
     }
     case Hypercall::kRegisterRosSignal:
       ros_signal_handler_ = a0;

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -36,6 +37,8 @@ enum class Hypercall : std::uint32_t {
   kRegisterRosSignal,  // ROS app registers its signal handler + stack
   kRaiseRos,         // channel doorbell: a0 = channel id, a1 = pending
                      // submissions flushed by this one hypercall
+  kBootTenant,       // cached-image tenant boot: a0 = the tenant process's
+                     // CR3; returns the new per-tenant HRT address-space root
   kCount_,
 };
 
@@ -93,6 +96,15 @@ class HrtKernelIface {
   // Injected exception: the kernel reads the shared data page and acts.
   // Runs at the highest precedence inside the HRT (exception injection).
   virtual Status on_hvm_event(HrtEventKind kind) = 0;
+  // Cached-image tenant boot: stamp a fresh per-tenant address-space root
+  // from the already-booted kernel's page tables (higher half shared
+  // copy-on-write, user half merged from `ros_cr3`) without re-running the
+  // firmware bring-up. Returns the new root. Kernels that predate
+  // multi-tenancy keep the single-tenant default.
+  virtual Result<std::uint64_t> boot_tenant(std::uint64_t ros_cr3) {
+    (void)ros_cr3;
+    return err(Err::kNoSys, "HRT kernel does not support tenant boot");
+  }
 };
 
 struct HvmConfig {
@@ -147,6 +159,16 @@ class Hvm {
   // nullptr disables injection.
   void set_fault_plan(FaultPlan* plan) noexcept { fault_plan_ = plan; }
 
+  // Per-channel fault-plan resolution for multi-tenant runs: when installed,
+  // the resolver maps a doorbell's channel id to the plan that governs it
+  // (nullptr = no injection for that channel), replacing the process-wide
+  // plan above so one tenant's fault schedule cannot touch another tenant's
+  // channels. nullptr restores the single-plan behavior.
+  using DoorbellFaultResolver = std::function<FaultPlan*(std::uint64_t)>;
+  void set_doorbell_fault_resolver(DoorbellFaultResolver fn) {
+    doorbell_fault_resolver_ = std::move(fn);
+  }
+
   // --- shared data page access (both sides use these) ---------------------
   [[nodiscard]] std::uint64_t comm_read(std::uint64_t offset) const;
   void comm_write(std::uint64_t offset, std::uint64_t value);
@@ -157,8 +179,16 @@ class Hvm {
   [[nodiscard]] std::uint64_t ros_mem_limit() const noexcept {
     return config_.ros_mem_bytes;
   }
-  // Allocate HRT-private physical memory (above the ROS partition).
+  // Allocate HRT-private physical memory (above the ROS partition). Reuses
+  // same-size freed ranges before growing the bump cursor, so tenant churn
+  // (channel pages, per-tenant roots) cannot exhaust the partition.
   Result<std::uint64_t> hrt_alloc(std::uint64_t bytes);
+  // Return a range from hrt_alloc to the allocator's freelist.
+  void hrt_free(std::uint64_t base, std::uint64_t bytes);
+  // High-water footprint of the HRT partition (tenants/GB accounting).
+  [[nodiscard]] std::uint64_t hrt_bytes_used() const noexcept {
+    return hrt_bump_ - config_.ros_mem_bytes;
+  }
 
   // --- telemetry -----------------------------------------------------------
   [[nodiscard]] std::uint64_t exit_count() const noexcept { return exits_; }
@@ -189,6 +219,8 @@ class Hvm {
   HrtKernelIface* hrt_ = nullptr;
   std::uint64_t comm_page_ = 0;
   std::uint64_t hrt_bump_ = 0;  // bump allocator over the HRT partition
+  // Freed HRT ranges keyed by size, reused LIFO (deterministic).
+  std::map<std::uint64_t, std::vector<std::uint64_t>> hrt_freelist_;
   std::uint64_t installed_base_ = 0;
   std::uint64_t installed_span_ = 0;
   std::uint64_t installed_entry_ = 0;
@@ -207,6 +239,7 @@ class Hvm {
   UserInterrupt ros_user_interrupt_;
   RosDoorbell ros_doorbell_;
   FaultPlan* fault_plan_ = nullptr;
+  DoorbellFaultResolver doorbell_fault_resolver_;
 };
 
 }  // namespace mv::vmm

@@ -1,0 +1,443 @@
+// Multi-tenant hosting regressions: cached-image tenant boot, per-tenant
+// fault/override scoping, teardown residue (destroy-then-recreate), and the
+// sequential construct/destruct telemetry rollback that makes a second system
+// in the same process bitwise identical to a fresh-process boot.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "multiverse/system.hpp"
+#include "support/metrics.hpp"
+#include "support/sched.hpp"
+
+namespace mv::multiverse {
+namespace {
+
+using ros::SysIface;
+
+// A small hybridized workload with a guest-computed checksum: forwarded
+// syscalls plus vdso traffic, cycle-insensitive result.
+int checksum_workload(SysIface& s) {
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 12; ++i) {
+    auto pid = s.getpid();
+    sum = sum * 31 + (pid.is_ok() ? *pid : 0);
+  }
+  return static_cast<int>(sum % 97);
+}
+
+// --- sequential construct/destruct: telemetry rollback -----------------------
+
+struct RunSig {
+  ProgramResult result;
+  std::string metrics_text;
+  std::uint64_t final_cycles = 0;
+};
+
+RunSig boot_and_run() {
+  SystemConfig cfg;
+  cfg.ros_cores = {0};
+  cfg.hrt_cores = {1, 2};
+  HybridSystem sys(cfg);
+  RunSig sig;
+  auto r = sys.run_hybrid("twin", checksum_workload);
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  if (r.is_ok()) sig.result = *r;
+  // Capture the full instrument dump while the system is alive — this is the
+  // bit-stable artifact the benches print.
+  sig.metrics_text = metrics::Registry::instance().to_text();
+  for (unsigned c = 0; c < sys.machine().core_count(); ++c) {
+    sig.final_cycles += sys.machine().core(c).cycles();
+  }
+  return sig;
+}
+
+TEST(TenantTwinRunTest, SecondBootBitwiseIdenticalToFreshProcess) {
+  // Regression: metrics::Registry and Tracer are process singletons, so a
+  // second HybridSystem booted after the first one died used to inherit
+  // instrument values, creation order, and the span-id cursor — its output
+  // drifted from a fresh-process boot. The TelemetryScope rollback must make
+  // the twin run reproduce the first byte for byte.
+  const RunSig first = boot_and_run();
+  const RunSig second = boot_and_run();
+  EXPECT_EQ(first.result.exit_code, second.result.exit_code);
+  EXPECT_EQ(first.result.stdout_text, second.result.stdout_text);
+  EXPECT_EQ(first.result.total_syscalls, second.result.total_syscalls);
+  EXPECT_EQ(first.result.syscall_histogram, second.result.syscall_histogram);
+  EXPECT_EQ(first.result.forwarded_syscalls, second.result.forwarded_syscalls);
+  EXPECT_EQ(first.result.forwarded_faults, second.result.forwarded_faults);
+  EXPECT_EQ(first.result.vdso_calls, second.result.vdso_calls);
+  EXPECT_EQ(first.result.elapsed_s, second.result.elapsed_s);
+  EXPECT_EQ(first.final_cycles, second.final_cycles);
+  EXPECT_EQ(first.metrics_text, second.metrics_text);
+}
+
+TEST(TenantRunTest, SingleProgramDelegatesToRunHybridBitwise) {
+  // tenants=1 identity: run_tenants with one program must be the classic
+  // run_hybrid path, not a degenerate multi-tenant schedule.
+  const RunSig classic = boot_and_run();
+  SystemConfig cfg;
+  cfg.ros_cores = {0};
+  cfg.hrt_cores = {1, 2};
+  HybridSystem sys(cfg);
+  auto r = sys.run_tenants({{"twin", checksum_workload, ""}});
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  ASSERT_EQ(r->programs.size(), 1u);
+  EXPECT_TRUE(r->boot_cycles.empty());
+  const std::string metrics_text = metrics::Registry::instance().to_text();
+  std::uint64_t final_cycles = 0;
+  for (unsigned c = 0; c < sys.machine().core_count(); ++c) {
+    final_cycles += sys.machine().core(c).cycles();
+  }
+  EXPECT_EQ(r->programs[0].exit_code, classic.result.exit_code);
+  EXPECT_EQ(r->programs[0].total_syscalls, classic.result.total_syscalls);
+  EXPECT_EQ(r->programs[0].syscall_histogram,
+            classic.result.syscall_histogram);
+  EXPECT_EQ(final_cycles, classic.final_cycles);
+  EXPECT_EQ(metrics_text, classic.metrics_text);
+}
+
+// --- tenant cap and ownership rules ------------------------------------------
+
+TEST(TenantTest, OptionTenantsCapAndOwnershipEnforced) {
+  SystemConfig cfg;
+  cfg.ros_cores = {0};
+  cfg.hrt_cores = {1};
+  cfg.extra_override_config = "option tenants 2\n";
+  HybridSystem sys(cfg);
+  ros::LinuxSim& kernel = sys.linux();
+  MultiverseRuntime& rt = sys.runtime();
+  const std::vector<std::uint8_t>* fat = &sys.fat_binary();
+
+  int phase = 0;
+  Status self_create = Status::ok();   // tenant 0 creating itself
+  Status dup_create = Status::ok();    // second create from the same proc
+  Status over_cap = Status::ok();      // create beyond `option tenants`
+  Status first_create = err(Err::kAgain, "never ran");
+  Status destroy_status = err(Err::kAgain, "never ran");
+
+  ASSERT_TRUE(kernel
+                  .spawn("t0",
+                         [&](SysIface&) -> int {
+                           ros::Thread* self = kernel.current_thread();
+                           if (!rt.startup(*self, *fat).is_ok()) return 127;
+                           self_create = rt.tenant_create(*self).status();
+                           while (phase < 3) kernel.sched().yield();
+                           (void)rt.shutdown();
+                           return 0;
+                         })
+                  .is_ok());
+  ASSERT_TRUE(kernel
+                  .spawn("t1",
+                         [&](SysIface&) -> int {
+                           ros::Thread* self = kernel.current_thread();
+                           while (!rt.started()) kernel.sched().yield();
+                           auto id = rt.tenant_create(*self);
+                           first_create = id.status();
+                           dup_create = rt.tenant_create(*self).status();
+                           phase = 1;
+                           while (phase < 2) kernel.sched().yield();
+                           destroy_status =
+                               id.is_ok() ? rt.tenant_destroy(*id)
+                                          : err(Err::kAgain, "no tenant");
+                           phase = 3;
+                           return 0;
+                         })
+                  .is_ok());
+  ASSERT_TRUE(kernel
+                  .spawn("t2",
+                         [&](SysIface&) -> int {
+                           ros::Thread* self = kernel.current_thread();
+                           while (phase < 1) kernel.sched().yield();
+                           over_cap = rt.tenant_create(*self).status();
+                           phase = 2;
+                           return 0;
+                         })
+                  .is_ok());
+  ASSERT_TRUE(kernel.run_all().is_ok());
+
+  EXPECT_TRUE(first_create.is_ok()) << first_create.to_string();
+  EXPECT_TRUE(destroy_status.is_ok()) << destroy_status.to_string();
+  EXPECT_EQ(self_create.code(), Err::kInval);
+  EXPECT_EQ(dup_create.code(), Err::kExist);
+  EXPECT_EQ(over_cap.code(), Err::kAgain)
+      << "cap of 2 (implicit tenant 0 + one created) was not enforced";
+  EXPECT_EQ(rt.tenant_count(), 1u);
+}
+
+// --- teardown residue: destroy then recreate ---------------------------------
+
+TEST(TenantTest, DestroyThenRecreateLeavesNoResidue) {
+  // Two full create/serve/destroy cycles from the same process. The second
+  // cycle must find no residue from the first: no stale group in any index
+  // or service-pool shard, no leaked invocation trampoline in the kernel's
+  // function registry, and no HRT partition growth (the ring page and the
+  // tenant root are recycled, not re-bumped).
+  SystemConfig cfg;
+  cfg.ros_cores = {0};
+  cfg.hrt_cores = {1, 2};
+  cfg.group_mode = GroupMode::kSharedDaemon;
+  cfg.extra_override_config =
+      "option tenants 2\noption service_workers 2\n";
+  HybridSystem sys(cfg);
+  ros::LinuxSim& kernel = sys.linux();
+  MultiverseRuntime& rt = sys.runtime();
+  const std::vector<std::uint8_t>* fat = &sys.fat_binary();
+
+  bool done = false;
+  bool pool_ok = false;
+  std::vector<int> cycle_exit(2, -1);
+  std::vector<int> group_ids;
+  std::size_t funcs_baseline = 0;
+  std::vector<std::size_t> funcs_after_destroy;
+  std::vector<std::uint64_t> bytes_after_destroy;
+  std::vector<bool> group_gone;
+
+  ASSERT_TRUE(kernel
+                  .spawn("t0",
+                         [&](SysIface&) -> int {
+                           ros::Thread* self = kernel.current_thread();
+                           if (!rt.startup(*self, *fat).is_ok()) return 127;
+                           pool_ok = rt.warm_service_pool(*self).is_ok();
+                           while (!done) kernel.sched().yield();
+                           (void)rt.shutdown();
+                           return 0;
+                         })
+                  .is_ok());
+  ASSERT_TRUE(
+      kernel
+          .spawn("tenant",
+                 [&](SysIface&) -> int {
+                   ros::Thread* self = kernel.current_thread();
+                   while (!rt.started()) kernel.sched().yield();
+                   funcs_baseline = rt.naut().bound_function_count();
+                   for (int cycle = 0; cycle < 2; ++cycle) {
+                     auto id = rt.tenant_create(*self);
+                     if (!id.is_ok()) return 10 + cycle;
+                     auto g = rt.hrt_thread_create(*self, [&, cycle](
+                                                              SysIface& s) {
+                       cycle_exit[static_cast<std::size_t>(cycle)] =
+                           checksum_workload(s);
+                     });
+                     if (!g.is_ok()) return 20 + cycle;
+                     group_ids.push_back(*g);
+                     if (!rt.hrt_thread_join(*self, *g).is_ok()) {
+                       return 30 + cycle;
+                     }
+                     if (!rt.tenant_destroy(*id).is_ok()) return 40 + cycle;
+                     group_gone.push_back(rt.find_group(*g) == nullptr);
+                     funcs_after_destroy.push_back(
+                         rt.naut().bound_function_count());
+                     bytes_after_destroy.push_back(sys.hvm().hrt_bytes_used());
+                   }
+                   done = true;
+                   return 0;
+                 })
+          .is_ok());
+  ASSERT_TRUE(kernel.run_all().is_ok());
+
+  EXPECT_TRUE(pool_ok);
+  ASSERT_EQ(group_ids.size(), 2u);
+  ASSERT_EQ(group_gone.size(), 2u);
+  EXPECT_TRUE(group_gone[0]) << "destroyed group still in the id index";
+  EXPECT_TRUE(group_gone[1]);
+  // Same guest-visible result both cycles.
+  EXPECT_EQ(cycle_exit[0], cycle_exit[1]);
+  EXPECT_GE(cycle_exit[0], 0);
+  // No trampoline leak: the kernel's function registry is back to its
+  // post-startup size after every destroy.
+  ASSERT_EQ(funcs_after_destroy.size(), 2u);
+  EXPECT_EQ(funcs_after_destroy[0], funcs_baseline);
+  EXPECT_EQ(funcs_after_destroy[1], funcs_baseline);
+  // No HRT partition growth across cycles: the second tenant's channel page
+  // comes from the freelist, not the bump pointer.
+  ASSERT_EQ(bytes_after_destroy.size(), 2u);
+  EXPECT_EQ(bytes_after_destroy[0], bytes_after_destroy[1]);
+  EXPECT_EQ(rt.tenant_count(), 1u);
+}
+
+// --- destroy while another tenant keeps serving ------------------------------
+
+TEST(TenantTest, DestroyFaultedTenantWhileOtherServes) {
+  // Tenant A boots with its own fault plan, takes (and recovers) injected
+  // doorbell faults, and is destroyed while tenant B is still serving.
+  // Nothing A owned — fault plan, channel, root — may be reachable
+  // afterwards: B's remaining traffic and the final shutdown must be clean
+  // (the ASan leg turns any dangling reference into a hard failure).
+  SystemConfig cfg;
+  cfg.ros_cores = {0};
+  cfg.hrt_cores = {1, 2};
+  cfg.group_mode = GroupMode::kSharedDaemon;
+  cfg.extra_override_config =
+      "option tenants 3\noption service_workers 2\n";
+  HybridSystem sys(cfg);
+  ros::LinuxSim& kernel = sys.linux();
+  MultiverseRuntime& rt = sys.runtime();
+  const std::vector<std::uint8_t>* fat = &sys.fat_binary();
+
+  bool a_done = false;
+  bool b_done = false;
+  int a_exit = -1;
+  std::vector<int> b_exits;
+
+  ASSERT_TRUE(kernel
+                  .spawn("t0",
+                         [&](SysIface&) -> int {
+                           ros::Thread* self = kernel.current_thread();
+                           if (!rt.startup(*self, *fat).is_ok()) return 127;
+                           if (!rt.warm_service_pool(*self).is_ok()) return 126;
+                           while (!b_done) kernel.sched().yield();
+                           (void)rt.shutdown();
+                           return 0;
+                         })
+                  .is_ok());
+  ASSERT_TRUE(kernel
+                  .spawn("tenant-a",
+                         [&](SysIface&) -> int {
+                           ros::Thread* self = kernel.current_thread();
+                           while (!rt.started()) kernel.sched().yield();
+                           auto id = rt.tenant_create(
+                               *self, "drop_doorbell=0.4,seed=9");
+                           if (!id.is_ok()) return 11;
+                           if (!rt.hrt_invoke_func(*self,
+                                                   [&](SysIface& s) {
+                                                     a_exit =
+                                                         checksum_workload(s);
+                                                   })
+                                    .is_ok()) {
+                             return 12;
+                           }
+                           if (!rt.tenant_destroy(*id).is_ok()) return 13;
+                           a_done = true;
+                           return 0;
+                         })
+                  .is_ok());
+  ASSERT_TRUE(kernel
+                  .spawn("tenant-b",
+                         [&](SysIface&) -> int {
+                           ros::Thread* self = kernel.current_thread();
+                           while (!rt.started()) kernel.sched().yield();
+                           auto id = rt.tenant_create(*self);
+                           if (!id.is_ok()) return 21;
+                           // Keep serving until A is gone, then one more
+                           // round against the post-destroy state.
+                           do {
+                             int exit_code = -1;
+                             if (!rt.hrt_invoke_func(*self,
+                                                     [&](SysIface& s) {
+                                                       exit_code =
+                                                           checksum_workload(s);
+                                                     })
+                                      .is_ok()) {
+                               return 22;
+                             }
+                             b_exits.push_back(exit_code);
+                           } while (!a_done);
+                           int exit_code = -1;
+                           if (!rt.hrt_invoke_func(*self,
+                                                   [&](SysIface& s) {
+                                                     exit_code =
+                                                         checksum_workload(s);
+                                                   })
+                                    .is_ok()) {
+                             return 23;
+                           }
+                           b_exits.push_back(exit_code);
+                           if (!rt.tenant_destroy(*id).is_ok()) return 24;
+                           b_done = true;
+                           return 0;
+                         })
+                  .is_ok());
+  ASSERT_TRUE(kernel.run_all().is_ok());
+
+  EXPECT_TRUE(a_done);
+  EXPECT_TRUE(b_done);
+  EXPECT_GE(a_exit, 0) << "tenant A never completed its faulted workload";
+  ASSERT_GE(b_exits.size(), 2u);
+  // Every round of B computes the same checksum, before and after A died.
+  for (const int e : b_exits) EXPECT_EQ(e, b_exits.front());
+  EXPECT_EQ(rt.tenant_count(), 1u);
+}
+
+// --- mixed criticality: faults scoped to the faulted tenant ------------------
+
+struct MixedRun {
+  ProgramResult b_result;
+  std::uint64_t faults_injected = 0;
+};
+
+MixedRun run_mixed(bool a_faulted) {
+  SystemConfig cfg;
+  cfg.ros_cores = {0};
+  cfg.hrt_cores = {1, 2};
+  cfg.extra_override_config = "option tenants 3\n";
+  HybridSystem sys(cfg);
+  std::vector<HybridSystem::TenantProgram> programs;
+  programs.push_back({"host", [](SysIface& s) { return checksum_workload(s); },
+                      ""});
+  programs.push_back(
+      {"tenant-a", [](SysIface& s) { return checksum_workload(s); },
+       a_faulted ? "drop_doorbell=0.5,dup_doorbell=0.25,seed=11" : ""});
+  programs.push_back(
+      {"tenant-b", [](SysIface& s) { return checksum_workload(s); }, ""});
+  auto r = sys.run_tenants(std::move(programs));
+  MixedRun out;
+  EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+  if (r.is_ok()) {
+    EXPECT_EQ(r->programs.size(), 3u);
+    if (r->programs.size() == 3) out.b_result = r->programs[2];
+  }
+  out.faults_injected =
+      metrics::Registry::instance().counter("faults/injected").value();
+  return out;
+}
+
+TEST(TenantMixedCriticalityTest, FaultsScopedToFaultedTenantOnly) {
+  // Doorbell faults scheduled against tenant A must leave tenant B's
+  // guest-visible execution untouched: B's run with A faulted is identical
+  // to B's run with A fault-free, in the same two-tenant schedule.
+  const MixedRun clean = run_mixed(/*a_faulted=*/false);
+  const MixedRun faulted = run_mixed(/*a_faulted=*/true);
+  EXPECT_EQ(clean.faults_injected, 0u);
+  EXPECT_GT(faulted.faults_injected, 0u)
+      << "tenant A's fault plan never fired — the test is vacuous";
+  EXPECT_EQ(faulted.b_result.exit_code, clean.b_result.exit_code);
+  EXPECT_EQ(faulted.b_result.stdout_text, clean.b_result.stdout_text);
+  EXPECT_EQ(faulted.b_result.total_syscalls, clean.b_result.total_syscalls);
+  EXPECT_EQ(faulted.b_result.syscall_histogram,
+            clean.b_result.syscall_histogram);
+  EXPECT_EQ(faulted.b_result.vdso_calls, clean.b_result.vdso_calls);
+  EXPECT_EQ(faulted.b_result.forwarded_faults, clean.b_result.forwarded_faults);
+}
+
+// --- cached-image boot speed -------------------------------------------------
+
+TEST(TenantDensityTest, CachedBootOverHundredTimesFasterThanCold) {
+  SystemConfig cfg;
+  cfg.ros_cores = {0};
+  cfg.hrt_cores = {1, 2};
+  cfg.extra_override_config = "option tenants 8\n";
+  HybridSystem sys(cfg);
+  std::vector<HybridSystem::TenantProgram> programs;
+  for (int i = 0; i < 5; ++i) {
+    programs.push_back({i == 0 ? "host" : "tenant",
+                        [](SysIface& s) { return checksum_workload(s); }, ""});
+  }
+  auto r = sys.run_tenants(std::move(programs));
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const Cycles cold = sys.hvm().last_boot_cycles();
+  ASSERT_GT(cold, 0u);
+  ASSERT_EQ(r->boot_cycles.size(), 4u);
+  for (const Cycles cached : r->boot_cycles) {
+    EXPECT_GT(cached, 0u);
+    EXPECT_LT(cached * 100, cold)
+        << "cached tenant boot is not >=100x faster than the cold boot "
+        << "(cached=" << cached << " cold=" << cold << ")";
+  }
+}
+
+}  // namespace
+}  // namespace mv::multiverse
