@@ -7,12 +7,21 @@
 // regardless of how the others are progressing.
 //
 // Reported: cached-boot p50/p99 against the cold boot (the >=100x claim),
-// marginal HRT footprint per tenant (tenants/GB), and per-tenant workload
-// latency percentiles. `--smoke` runs a CI-sized fleet and enforces the boot
-// bound plus the tenants=1 bitwise-identity shape check.
+// marginal HRT footprint per tenant (tenants/GB), and per-tenant request
+// latency percentiles sourced from the per-tenant registry histograms
+// (tenant/<id>/slo/request_latency, snapshotted at tenant_destroy) — the
+// same numbers export_tenant_metrics serves. `--smoke` runs a CI-sized
+// fleet and enforces the boot bound plus the tenants=1 bitwise-identity
+// shape check. A storm leg then pins tenant A under a doorbell fault storm
+// and enforces that the unfaulted tenant B's request p99 stays within a
+// bound of the all-clean baseline (per-tenant SLO isolation).
+// `--export-metrics <prefix>` writes the fleet's per-tenant metric exports
+// to <prefix>.json and <prefix>.prom.
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
@@ -115,7 +124,50 @@ IdentitySig identity_run(bool via_run_tenants, std::uint64_t* hrt_bytes) {
   return sig;
 }
 
-int run(int tenants_total, bool smoke) {
+// One storm-leg run: host + tenant A (faulted when `storm`) + clean tenant
+// B, all on a fresh system. Returns B's request-latency p99 from its SLO
+// snapshot (cycles; 0 when metrics are compiled out). Spawn order is
+// deterministic under the cooperative scheduler, so A is tenant 1 and B is
+// tenant 2 in both legs.
+struct StormSig {
+  bool ok = false;
+  double b_p99 = 0.0;
+  std::uint64_t b_requests = 0;
+  std::uint64_t a_faults_injected = 0;
+};
+
+StormSig storm_run(bool storm) {
+  StormSig sig;
+  HybridSystem sys(density_config(/*programs=*/3));
+  std::vector<HybridSystem::TenantProgram> programs;
+  programs.push_back({"host", trivial_workload, ""});
+  programs.push_back({"storm-a", tenant_workload(1),
+                      storm ? "drop_doorbell=0.5,dup_doorbell=0.25,seed=11"
+                            : ""});
+  programs.push_back({"clean-b", tenant_workload(1), ""});
+  auto fleet = sys.run_tenants(std::move(programs));
+  if (!fleet.is_ok()) {
+    std::printf("STORM LEG RUN FAILED: %s\n",
+                fleet.status().to_string().c_str());
+    return sig;
+  }
+  // Index 0 is the host whose checksum exit code is not a failure signal.
+  for (std::size_t i = 1; i < fleet->programs.size(); ++i) {
+    if (fleet->programs[i].exit_code != 0) return sig;
+  }
+  for (const auto& s : fleet->slo) {
+    if (s.tenant_id == 2) {
+      sig.b_p99 = s.latency_p99;
+      sig.b_requests = s.requests;
+      sig.ok = true;
+    } else if (s.tenant_id == 1) {
+      sig.a_faults_injected = s.faults_injected;
+    }
+  }
+  return sig;
+}
+
+int run(int tenants_total, bool smoke, const char* export_prefix) {
   banner("abl_tenant_density",
          smoke ? "multi-tenant density (CI smoke fleet)"
                : "multi-tenant density (open-loop fleet)");
@@ -160,13 +212,19 @@ int run(int tenants_total, bool smoke) {
   // Every mixed workload returns 0 on success (the host's checksum exit at
   // index 0 is not a failure signal).
   int bad_exits = 0;
-  std::vector<double> tenant_elapsed_ms;
   for (std::size_t i = 1; i < fleet->programs.size(); ++i) {
     if (fleet->programs[i].exit_code != 0) ++bad_exits;
-    tenant_elapsed_ms.push_back(fleet->programs[i].elapsed_s * 1e3);
   }
   if (bad_exits > 0) {
     std::printf("WORKLOAD FAILURES: %d tenants exited nonzero\n", bad_exits);
+    ++failures;
+  }
+  // Every created tenant destroys exactly once, and each destroy captures
+  // one SLO snapshot.
+  if (fleet->slo.size() != static_cast<std::size_t>(tenants_total - 1)) {
+    std::printf("SLO SNAPSHOT COUNT WRONG: %zu snapshots for %d created "
+                "tenants\n",
+                fleet->slo.size(), tenants_total - 1);
     ++failures;
   }
 
@@ -210,12 +268,107 @@ int run(int tenants_total, bool smoke) {
                 (1ull << 30) / per_tenant);
   }
 
-  // --- per-tenant workload latency ------------------------------------------
-  std::printf("tenant elapsed p50:        %.3f ms\n",
-              percentile(tenant_elapsed_ms, 50));
-  std::printf("tenant elapsed p99:        %.3f ms\n",
-              percentile(tenant_elapsed_ms, 99));
+  // --- per-tenant request latency -------------------------------------------
+  // One source of truth: the tenant/<id>/slo/request_latency registry
+  // histograms, as snapshotted at each tenant_destroy (submission-to-reap,
+  // requester cycle domain). Zero across the board when metrics are
+  // compiled out.
+  std::vector<double> req_p50, req_p99;
+  std::uint64_t total_requests = 0;
+  for (const auto& s : fleet->slo) {
+    total_requests += s.requests;
+    if (s.requests == 0) continue;
+    req_p50.push_back(s.latency_p50);
+    req_p99.push_back(s.latency_p99);
+  }
+  const double fleet_p50 = percentile(req_p50, 50);
+  const double fleet_p99 =
+      req_p99.empty() ? 0.0
+                      : *std::max_element(req_p99.begin(), req_p99.end());
+  std::printf("tenant requests reaped:    %llu across %zu tenants\n",
+              static_cast<unsigned long long>(total_requests),
+              fleet->slo.size());
+  std::printf("tenant request p50:        %.0f cycles (%.2f us, median "
+              "tenant)\n",
+              fleet_p50,
+              cycles_to_seconds(static_cast<Cycles>(fleet_p50)) * 1e6);
+  std::printf("tenant request p99:        %.0f cycles (%.2f us, worst "
+              "tenant)\n",
+              fleet_p99,
+              cycles_to_seconds(static_cast<Cycles>(fleet_p99)) * 1e6);
   print_channel_latency_percentiles();
+
+  // --- machine-readable per-tenant export -----------------------------------
+  if (export_prefix != nullptr) {
+    std::vector<int> ids{0};
+    for (const auto& s : fleet->slo) ids.push_back(s.tenant_id);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    std::string json = "{\"tenants\":[";
+    std::string text;
+    bool first = true;
+    for (const int id : ids) {
+      auto ex = sys.export_tenant_metrics(id);
+      if (!ex.found) continue;
+      json += strfmt("%s{\"tenant\":%d,\"metrics\":", first ? "" : ",", id);
+      json += ex.json;
+      json += "}";
+      text += ex.text;
+      first = false;
+    }
+    json += "]}\n";
+    const std::string json_path = std::string(export_prefix) + ".json";
+    const std::string prom_path = std::string(export_prefix) + ".prom";
+    for (const auto& [path, body] :
+         {std::pair{json_path, json}, std::pair{prom_path, text}}) {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::printf("EXPORT FAILED: cannot open %s\n", path.c_str());
+        ++failures;
+        continue;
+      }
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+    }
+    std::printf("exported %zu tenant metric sets to %s / %s\n", ids.size(),
+                json_path.c_str(), prom_path.c_str());
+  }
+
+  // --- SLO isolation under a doorbell storm ---------------------------------
+  // Tenant A takes drop_doorbell=0.5,dup_doorbell=0.25; tenant B runs clean
+  // in both legs. B's request p99 must stay within 10% + 1000 cycles of the
+  // all-clean baseline: fault recovery is charged to the faulted tenant's
+  // channel, not its neighbors'.
+  begin_measurement();
+  const StormSig clean = storm_run(/*storm=*/false);
+  end_measurement("storm_baseline");
+  begin_measurement();
+  const StormSig stormy = storm_run(/*storm=*/true);
+  end_measurement("storm_faulted");
+  if (!clean.ok || !stormy.ok) {
+    std::printf("STORM LEG FAILED TO PRODUCE SNAPSHOTS\n");
+    ++failures;
+  } else if (clean.b_p99 <= 0.0) {
+    // Metrics compiled out: the histograms never record, so there is no
+    // latency signal to bound. The leg still proves both fleets complete.
+    std::printf("storm leg: no latency signal (metrics disabled), bound "
+                "skipped\n");
+  } else {
+    const double bound = 1.10 * clean.b_p99 + 1000.0;
+    std::printf("storm leg: A injected %llu faults; B p99 %.0f cycles clean "
+                "vs %.0f under storm (bound %.0f)\n",
+                static_cast<unsigned long long>(stormy.a_faults_injected),
+                clean.b_p99, stormy.b_p99, bound);
+    if (stormy.a_faults_injected == 0) {
+      std::printf("STORM LEG INERT: tenant A recorded no injected faults\n");
+      ++failures;
+    }
+    if (stormy.b_p99 > bound) {
+      std::printf("SLO ISOLATION VIOLATED: clean tenant's p99 degraded "
+                  "under a neighbor's storm\n");
+      ++failures;
+    }
+  }
 
   std::printf("%s\n", failures == 0 ? "OK" : "FAILED");
   return failures == 0 ? 0 : 1;
@@ -227,13 +380,16 @@ int run(int tenants_total, bool smoke) {
 int main(int argc, char** argv) {
   int tenants = 120;
   bool smoke = false;
+  const char* export_prefix = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
       tenants = 12;
     } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
       tenants = std::max(2, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--export-metrics") == 0 && i + 1 < argc) {
+      export_prefix = argv[++i];
     }
   }
-  return mvbench::run(tenants, smoke);
+  return mvbench::run(tenants, smoke, export_prefix);
 }

@@ -17,29 +17,46 @@ const char* kTransportNames[2] = {"async", "sync"};
 
 EventChannel::EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
                            unsigned hrt_core, int id)
+    : EventChannel(hvm, linux, sched, hrt_core, id, TenantBinding{}) {}
+
+EventChannel::EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
+                           unsigned hrt_core, int id, TenantBinding tenant)
     : hvm_(&hvm), linux_(&linux), sched_(&sched), hrt_core_(hrt_core),
-      id_(id) {
+      id_(id), tenant_(tenant) {
   metrics::Registry& reg = metrics::Registry::instance();
+  // Instruments live in the owning tenant's namespace. Tenant 0 resolves
+  // the bare pre-tenant names; a created tenant's channels are named by
+  // their tenant-local ordinal so a recreated tenant exports identically.
+  const std::string ns = metrics::Registry::tenant_prefix(tenant_.tenant_id);
+  const int mid = tenant_.local_ordinal >= 0 ? tenant_.local_ordinal : id_;
+  if (tenant_.tenant_id != 0) {
+    tenant_args_ = strfmt(",\"tenant\":%d", tenant_.tenant_id);
+  }
   for (int kind = 0; kind < 2; ++kind) {
     for (int transport = 0; transport < 2; ++transport) {
       latency_metric_[kind][transport] = &reg.histogram(
-          strfmt("channel/%d/latency/%s/%s", id_, kKindNames[kind],
-                 kTransportNames[transport]));
+          ns + strfmt("channel/%d/latency/%s/%s", mid, kKindNames[kind],
+                      kTransportNames[transport]));
     }
   }
-  queue_wait_metric_ = &reg.histogram(strfmt("channel/%d/queue_wait", id_));
+  queue_wait_metric_ =
+      &reg.histogram(ns + strfmt("channel/%d/queue_wait", mid));
   occupancy_metric_ =
-      &reg.histogram(strfmt("channel/%d/ring_occupancy", id_));
-  served_metric_ = &reg.counter(strfmt("channel/%d/requests_served", id_));
+      &reg.histogram(ns + strfmt("channel/%d/ring_occupancy", mid));
+  served_metric_ =
+      &reg.counter(ns + strfmt("channel/%d/requests_served", mid));
   protocol_error_metric_ =
-      &reg.counter(strfmt("channel/%d/protocol_errors", id_));
+      &reg.counter(ns + strfmt("channel/%d/protocol_errors", mid));
   contended_metric_ =
-      &reg.counter(strfmt("channel/%d/contended_acquires", id_));
-  doorbell_metric_ = &reg.counter(strfmt("channel/%d/doorbells", id_));
+      &reg.counter(ns + strfmt("channel/%d/contended_acquires", mid));
+  doorbell_metric_ = &reg.counter(ns + strfmt("channel/%d/doorbells", mid));
   suppressed_metric_ =
-      &reg.counter(strfmt("channel/%d/doorbells_suppressed", id_));
-  retry_metric_ = &reg.counter(strfmt("channel/%d/retries", id_));
-  degradation_metric_ = &reg.counter(strfmt("channel/%d/degradations", id_));
+      &reg.counter(ns + strfmt("channel/%d/doorbells_suppressed", mid));
+  retry_metric_ = &reg.counter(ns + strfmt("channel/%d/retries", mid));
+  degradation_metric_ =
+      &reg.counter(ns + strfmt("channel/%d/degradations", mid));
+  // Fleet-wide stall counter stays global on purpose (one pager threshold);
+  // per-tenant attribution rides the SLO hook below.
   watchdog_stall_metric_ = &reg.counter("mv/watchdog/stalls");
 }
 
@@ -54,7 +71,10 @@ Status EventChannel::init() {
   MV_ASSIGN_OR_RETURN(page_, hvm_->hrt_alloc(hw::kPageSize));
   page_write(Ring::kOffDepth, depth_);
   FlightRecorder::instance().register_state_provider(
-      this, strfmt("channel/%d", id_), [this] { return debug_state(); });
+      this,
+      metrics::Registry::tenant_prefix(tenant_.tenant_id) +
+          strfmt("channel/%d", id_),
+      [this] { return debug_state(); });
   return Status::ok();
 }
 
@@ -176,6 +196,8 @@ void EventChannel::wake_partner() {
 void EventChannel::on_doorbell() { wake_partner(); }
 
 void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
+  // Observational tenant context for the abort header (host-side only).
+  FlightRecorder::instance().set_current_tenant(tenant_.tenant_id);
   SlotMeta& meta = slots_[seq % depth_];
   meta.requester = sched_->current();
   meta.begin = requester_cycles();
@@ -205,9 +227,10 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
              "\"occupancy\":%llu",
              static_cast<unsigned long long>(meta.span), id_,
              static_cast<unsigned long long>(seq), kKindNames[meta.kind_idx],
-             static_cast<unsigned long long>(occupancy)));
-  MV_FR_EVENT(hrt_core_, FrKind::kSubmit, meta.span, seq, occupancy,
-              kKindNames[meta.kind_idx]);
+             static_cast<unsigned long long>(occupancy)) +
+          tenant_args_);
+  MV_FR_EVENT_T(hrt_core_, FrKind::kSubmit, meta.span, seq, occupancy,
+                kKindNames[meta.kind_idx], tenant_.tenant_id);
 
   if (fault_mode_ && replay_armed_ && seq % depth_ == replay_slot_) {
     // The duplicated completion delivery raced slot reuse: a stale
@@ -231,8 +254,9 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
     core.charge(hw::costs().ring_submit());
     ++doorbells_suppressed_;
     MV_COUNTER_INC(suppressed_metric_, 1);
-    MV_FR_EVENT(hrt_core_, FrKind::kDoorbellSuppress, meta.span, seq, 0,
-                eager_ ? "eager" : "batched");
+    MV_COUNTER_INC(tenant_.slo_doorbells_suppressed, 1);
+    MV_FR_EVENT_T(hrt_core_, FrKind::kDoorbellSuppress, meta.span, seq, 0,
+                  eager_ ? "eager" : "batched", tenant_.tenant_id);
     wake_partner();
     return;
   }
@@ -248,7 +272,8 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
       MV_COUNTER_INC(doorbell_metric_, 1);
       // The doorbell traverses the VMM whether or not delivery succeeds.
       trace_vmm_hop(meta.span, "doorbell");
-      MV_FR_EVENT(hrt_core_, FrKind::kDoorbell, meta.span, seq, 0, "eager");
+      MV_FR_EVENT_T(hrt_core_, FrKind::kDoorbell, meta.span, seq, 0, "eager",
+                    tenant_.tenant_id);
       if (fault_mode_ &&
           plan_->should_inject(FaultClass::kDropDoorbell, core.cycles())) {
         // The composite doorbell+injection was lost: the submission sits in
@@ -256,8 +281,10 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
         plan_->note_injected(FaultClass::kDropDoorbell);
         MV_TRACE_ANNOTATE(hrt_core_, "span", "fault:drop_doorbell",
                           strfmt("\"span\":%llu", static_cast<unsigned long long>(
-                                                      meta.span)));
-        MV_FR_EVENT(hrt_core_, FrKind::kDoorbellDrop, meta.span, seq, 0, "");
+                                                      meta.span)) +
+                              tenant_args_);
+        MV_FR_EVENT_T(hrt_core_, FrKind::kDoorbellDrop, meta.span, seq, 0, "",
+                      tenant_.tenant_id);
         return;
       }
     } else if (fault_mode_ &&
@@ -300,7 +327,8 @@ void EventChannel::submit(std::uint64_t seq, std::uint64_t kind) {
     ++doorbells_;
     MV_COUNTER_INC(doorbell_metric_, 1);
     trace_vmm_hop(meta.span, "doorbell");
-    MV_FR_EVENT(hrt_core_, FrKind::kDoorbell, meta.span, seq, 0, "batched");
+    MV_FR_EVENT_T(hrt_core_, FrKind::kDoorbell, meta.span, seq, 0, "batched",
+                  tenant_.tenant_id);
     const std::uint64_t pending = seq + 1 - page_read(Ring::kOffSubHead);
     auto rung = hvm_->hypercall(hrt_core_, vmm::Hypercall::kRaiseRos,
                                 static_cast<std::uint64_t>(id_), pending);
@@ -321,7 +349,9 @@ void EventChannel::trace_vmm_hop(std::uint64_t span, const char* what) {
   // it: the arrow chain shows the request crossing the VMM boundary.
   const std::uint64_t ts = t.now(hrt_core_);
   t.complete(Tracer::kVmmTrack, "vmm", strfmt("%s chan%d", what, id_), ts,
-             ts + 1, strfmt("\"span\":%llu", static_cast<unsigned long long>(span)));
+             ts + 1,
+             strfmt("\"span\":%llu", static_cast<unsigned long long>(span)) +
+                 tenant_args_);
   t.flow('t', Tracer::kVmmTrack, span, ts);
 #else
   (void)span;
@@ -372,9 +402,12 @@ Result<std::uint64_t> EventChannel::reap(std::uint64_t seq) {
     hvm_->machine().core(hrt_core_).charge(hw::costs().ring_reap());
   }
 
-  // Requester-observed request latency, in the HRT core's cycle domain.
+  // Requester-observed request latency, in the HRT core's cycle domain —
+  // the SLO quantity: submission to completion as the tenant saw it.
   const Cycles request_end = requester_cycles();
   MV_HISTOGRAM_RECORD(latency_metric_[meta.kind_idx][meta.transport_idx],
+                      static_cast<double>(request_end - meta.begin));
+  MV_HISTOGRAM_RECORD(tenant_.slo_latency,
                       static_cast<double>(request_end - meta.begin));
   if (Tracer::instance().enabled()) {
     Tracer& t = Tracer::instance();
@@ -386,10 +419,12 @@ Result<std::uint64_t> EventChannel::reap(std::uint64_t seq) {
                       "\"status\":%llu",
                       static_cast<unsigned long long>(meta.span), meta.retries,
                       meta.degraded ? "true" : "false",
-                      static_cast<unsigned long long>(status_code)));
+                      static_cast<unsigned long long>(status_code)) +
+                   tenant_args_);
     t.flow('f', hrt_core_, meta.span, request_end);
   }
-  MV_FR_EVENT(hrt_core_, FrKind::kComplete, meta.span, seq, status_code, "");
+  MV_FR_EVENT_T(hrt_core_, FrKind::kComplete, meta.span, seq, status_code, "",
+                tenant_.tenant_id);
   // The freed slot is claimable: hand it to the oldest queued claimer.
   wake_next_claimer();
 
@@ -481,8 +516,10 @@ bool EventChannel::retry_transport(SlotMeta& meta) {
   MV_TRACE_ANNOTATE(hrt_core_, "channel", "retry",
                     strfmt("\"span\":%llu,\"attempt\":%u",
                            static_cast<unsigned long long>(meta.span),
-                           meta.retries));
-  MV_FR_EVENT(hrt_core_, FrKind::kRetry, meta.span, meta.retries, 0, "");
+                           meta.retries) +
+                        tenant_args_);
+  MV_FR_EVENT_T(hrt_core_, FrKind::kRetry, meta.span, meta.retries, 0, "",
+                tenant_.tenant_id);
   if (pending_delayed_wake_) {
     // The submit-side wakeup was delayed, not lost; deliver it now.
     pending_delayed_wake_ = false;
@@ -510,7 +547,8 @@ bool EventChannel::retry_transport(SlotMeta& meta) {
   ++doorbells_;
   MV_COUNTER_INC(doorbell_metric_, 1);
   trace_vmm_hop(meta.span, "re-doorbell");
-  MV_FR_EVENT(hrt_core_, FrKind::kDoorbell, meta.span, 0, 0, "retry");
+  MV_FR_EVENT_T(hrt_core_, FrKind::kDoorbell, meta.span, 0, 0, "retry",
+                tenant_.tenant_id);
   const std::uint64_t pending =
       page_read(Ring::kOffSubTail) - page_read(Ring::kOffSubHead);
   auto rung = hvm_->hypercall(hrt_core_, vmm::Hypercall::kRaiseRos,
@@ -524,8 +562,10 @@ void EventChannel::degrade_to_sync(std::uint64_t span) {
   MV_COUNTER_INC(degradation_metric_, 1);
   MV_TRACE_ANNOTATE(hrt_core_, "channel", "degrade_to_sync",
                     strfmt("\"span\":%llu",
-                           static_cast<unsigned long long>(span)));
-  MV_FR_EVENT(hrt_core_, FrKind::kDegrade, span, 0, 0, "");
+                           static_cast<unsigned long long>(span)) +
+                        tenant_args_);
+  MV_FR_EVENT_T(hrt_core_, FrKind::kDegrade, span, 0, 0, "",
+                tenant_.tenant_id);
   consecutive_doorbell_losses_ = 0;
   // One kSetupSyncCall hands the ROS side the polling address; every later
   // round trip is the pure memory protocol.
@@ -626,6 +666,8 @@ void EventChannel::mark_exit(int hrt_tid) {
 
 bool EventChannel::serve_pending(ros::Thread& server) {
   if (partner_died_) return false;
+  // Serve-side work executes on behalf of this channel's tenant.
+  FlightRecorder::instance().set_current_tenant(tenant_.tenant_id);
   const std::uint64_t head = page_read(Ring::kOffSubHead);
   if (head == page_read(Ring::kOffSubTail)) return false;
   const std::uint64_t slot = slot_base(head);
@@ -747,9 +789,11 @@ bool EventChannel::serve_pending(ros::Thread& server) {
                serve_begin, ros_core.cycles(),
                strfmt("\"span\":%llu,\"seq\":%llu",
                       static_cast<unsigned long long>(span),
-                      static_cast<unsigned long long>(head)));
+                      static_cast<unsigned long long>(head)) +
+                   tenant_args_);
   }
-  MV_FR_EVENT(server.core, FrKind::kServe, span, head, rsp_status, "");
+  MV_FR_EVENT_T(server.core, FrKind::kServe, span, head, rsp_status, "",
+                tenant_.tenant_id);
 
   const TaskId requester = slots_[head % depth_].requester;
   if (requester != kNoTask) sched_->unblock(requester);
@@ -789,11 +833,13 @@ void EventChannel::partner_die() {
   partner_died_ = true;
   if (plan_ != nullptr) plan_->note_injected(FaultClass::kPartnerDeath);
   MV_TRACE_INSTANT(partner_->core, "channel", "partner_death");
-  MV_FR_EVENT(partner_->core, FrKind::kPartnerDeath, 0,
-              static_cast<std::uint64_t>(id_), 0, "");
+  MV_FR_EVENT_T(partner_->core, FrKind::kPartnerDeath, 0,
+                static_cast<std::uint64_t>(id_), 0, "", tenant_.tenant_id);
   // Snapshot before fail_inflight() so the stuck slots are still visible.
   FlightRecorder::instance().take_snapshot(
-      strfmt("partner-death: chan%d", id_));
+      strfmt("partner-death: chan%d", id_) +
+      (tenant_.tenant_id != 0 ? strfmt(" tenant=%d", tenant_.tenant_id)
+                              : std::string{}));
   fail_inflight();
   // Preserve join semantics: the partner's task lingers — failing any
   // straggler submissions, serving nothing — until the HRT thread exits, so
@@ -847,16 +893,23 @@ void EventChannel::check_watchdog(std::uint64_t seq) {
   meta.stall_flagged = true;
   ++watchdog_stalls_;
   MV_COUNTER_INC(watchdog_stall_metric_, 1);
-  MV_FR_EVENT(hrt_core_, FrKind::kWatchdogStall, meta.span, seq, age, "");
+  MV_COUNTER_INC(tenant_.slo_watchdog_stalls, 1);
+  // The stall is attributed to the stalled slot's owner: a storm on tenant A
+  // can never be misread as a stall on tenant B.
+  MV_FR_EVENT_T(hrt_core_, FrKind::kWatchdogStall, meta.span, seq, age, "",
+                tenant_.tenant_id);
   MV_TRACE_ANNOTATE(hrt_core_, "channel", "watchdog_stall",
                     strfmt("\"span\":%llu,\"age\":%llu",
                            static_cast<unsigned long long>(meta.span),
-                           static_cast<unsigned long long>(age)));
+                           static_cast<unsigned long long>(age)) +
+                        tenant_args_);
   FlightRecorder::instance().take_snapshot(
       strfmt("watchdog: chan%d seq=%llu span=%llu age=%llu", id_,
              static_cast<unsigned long long>(seq),
              static_cast<unsigned long long>(meta.span),
-             static_cast<unsigned long long>(age)));
+             static_cast<unsigned long long>(age)) +
+      (tenant_.tenant_id != 0 ? strfmt(" tenant=%d", tenant_.tenant_id)
+                              : std::string{}));
 }
 
 std::string EventChannel::debug_state() const {

@@ -93,13 +93,35 @@ class EventChannel final : public naut::LegacyChannel {
   // Request kinds in a slot's kind word.
   enum : std::uint64_t { kIdle = 0, kSyscall = 1, kFault = 2 };
 
+  // Attribution of this channel to a created tenant. The default (tenant 0,
+  // the implicit host tenant) names instruments exactly as the pre-tenant
+  // code did and wires no SLO hooks, so single-tenant behavior is bitwise
+  // unchanged. For a created tenant the runtime passes the tenant id (tags
+  // flight-recorder events, traces, and the MV_CHECK context), a
+  // tenant-local channel ordinal (instrument names become
+  // tenant/<id>/channel/<ordinal>/... — ordinals restart at 0 per tenant
+  // incarnation, so destroy-then-recreate exports identically even though
+  // group ids keep climbing), and the tenant's cached SLO instruments
+  // (resolved once at tenant_create; null pointers are skipped on the hot
+  // path, never looked up).
+  struct TenantBinding {
+    int tenant_id = 0;
+    int local_ordinal = -1;  // < 0: use the group id in instrument names
+    metrics::Histogram* slo_latency = nullptr;
+    metrics::Counter* slo_watchdog_stalls = nullptr;
+    metrics::Counter* slo_doorbells_suppressed = nullptr;
+  };
+
   // `id` names the channel in metrics/traces (the runtime passes the
   // execution-group id; white-box tests may leave the default).
   EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
                unsigned hrt_core, int id = 0);
+  EventChannel(vmm::Hvm& hvm, ros::LinuxSim& linux, Sched& sched,
+               unsigned hrt_core, int id, TenantBinding tenant);
   ~EventChannel() override;
 
   [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] int tenant_id() const noexcept { return tenant_.tenant_id; }
   // The HRT core this channel is bound to: requester-side cycle clock,
   // doorbell hypercall origin, and transport cost model all key off it. Must
   // match the core the group's HRT thread actually runs on.
@@ -297,6 +319,10 @@ class EventChannel final : public naut::LegacyChannel {
   Sched* sched_;
   unsigned hrt_core_;
   int id_ = 0;
+  TenantBinding tenant_{};
+  // Pre-rendered `,"tenant":N` JSON fragment for trace args (empty for
+  // tenant 0, keeping single-tenant trace output byte-identical).
+  std::string tenant_args_;
   std::uint64_t page_ = 0;
   ros::Thread* partner_ = nullptr;
   bool sync_mode_ = false;

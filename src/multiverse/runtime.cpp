@@ -32,6 +32,10 @@ std::uint64_t HrtCtx::scratch_base() {
 
 Result<std::uint64_t> HrtCtx::syscall(ros::SysNr nr,
                                       std::array<std::uint64_t, 6> args) {
+  // Observational tenant context (abort-header attribution): overridden
+  // calls never reach the channel, so stamp the owner here too.
+  FlightRecorder::instance().set_current_tenant(
+      group_->tenant != nullptr ? group_->tenant->id : 0);
   // AeroKernel overrides: if the family is overridden — statically by the
   // developer's config, or promoted at runtime by the hybridization governor
   // — the wrapper invokes the kernel-mode variant directly, no forwarding.
@@ -489,8 +493,21 @@ Result<ExecGroup*> MultiverseRuntime::create_group(ros::Thread& caller,
   metrics::Registry::instance()
       .counter(strfmt("mv/groups/per_core/%u", hrt_core))
       .inc();
-  group->channel = std::make_unique<EventChannel>(*hvm_, *linux_, *sched_,
-                                                  hrt_core, group->id);
+  // Tenant channels carry their owner into the telemetry layer: instruments
+  // resolve in the tenant's namespace (named by a tenant-local ordinal, so
+  // recreation exports identically) and the tenant's cached SLO instruments
+  // ride the binding — no per-request name lookups anywhere.
+  EventChannel::TenantBinding binding;
+  if (group->tenant != nullptr) {
+    Tenant& t = *group->tenant;
+    binding.tenant_id = t.id;
+    binding.local_ordinal = t.next_channel_ordinal++;
+    binding.slo_latency = t.slo_latency;
+    binding.slo_watchdog_stalls = t.slo_watchdog_stalls;
+    binding.slo_doorbells_suppressed = t.slo_doorbells_suppressed;
+  }
+  group->channel = std::make_unique<EventChannel>(
+      *hvm_, *linux_, *sched_, hrt_core, group->id, binding);
   group->channel->set_ring_depth(
       static_cast<unsigned>(config_.options.ring_depth));
   group->channel->set_watchdog_multiple(
@@ -671,9 +688,9 @@ void MultiverseRuntime::enqueue_ready(ExecGroup* group) {
     MV_HISTOGRAM_RECORD(
         &metrics::Registry::instance().histogram("service/ready_depth"),
         static_cast<double>(shard.ready.size()));
-    MV_FR_EVENT(group->hrt_core, FrKind::kReadyEnqueue, 0,
-                static_cast<std::uint64_t>(group->id), shard.ready.size(),
-                "");
+    MV_FR_EVENT_T(group->hrt_core, FrKind::kReadyEnqueue, 0,
+                  static_cast<std::uint64_t>(group->id), shard.ready.size(),
+                  "", group->tenant != nullptr ? group->tenant->id : 0);
   }
   // Wake only this shard's worker. wake() (not unblock()) so a doorbell that
   // lands while the worker is mid-drain is never lost: it parks a
@@ -966,12 +983,18 @@ Result<int> MultiverseRuntime::tenant_create(ros::Thread& caller,
   }
 
   auto tenant = std::make_unique<Tenant>();
-  tenant->id = next_tenant_id_++;
+  // Smallest free id, not a monotonic counter: the id names the tenant's
+  // metric namespace (tenant/<id>/...), so destroy-then-recreate must land
+  // on the same namespace to export identically.
+  int free_id = 1;
+  while (tenants_.count(free_id) != 0) ++free_id;
+  tenant->id = free_id;
   tenant->proc = caller.proc;
   tenant->ros_cr3 = caller.proc->as->cr3();
   if (!fault_spec.empty()) {
     MV_ASSIGN_OR_RETURN(FaultPlan plan, FaultPlan::parse(fault_spec));
     tenant->fault_plan = std::make_unique<FaultPlan>(std::move(plan));
+    tenant->fault_plan->bind_tenant(tenant->id);
   }
   // Per-tenant override dispatch, seeded from the same embedded config as
   // the runtime-wide table, with its own governor when hybridization is on —
@@ -1018,6 +1041,17 @@ Result<int> MultiverseRuntime::tenant_create(ros::Thread& caller,
       .record(static_cast<double>(tenant->boot_cycles));
   tenant_boot_history_.push_back(tenant->boot_cycles);
 
+  // Resolve the tenant's SLO instruments once, here; the channel hot path
+  // and fault plan only ever touch the cached pointers. The fault counters
+  // are created even for fault-free tenants so every tenant's export has
+  // the same instrument shape.
+  const std::string ns = metrics::Registry::tenant_prefix(tenant->id);
+  tenant->slo_latency = &reg.histogram(ns + "slo/request_latency");
+  tenant->slo_watchdog_stalls = &reg.counter(ns + "watchdog/stalls");
+  tenant->slo_doorbells_suppressed = &reg.counter(ns + "doorbells_suppressed");
+  reg.counter(ns + "faults/injected");
+  reg.counter(ns + "faults/recovered");
+
   Tenant* raw = tenant.get();
   tenants_by_proc_[raw->proc] = raw;
   tenants_by_root_[raw->hrt_root] = raw;
@@ -1035,6 +1069,38 @@ Status MultiverseRuntime::tenant_destroy(int tenant_id) {
       return err(Err::kState, "tenant_destroy with live execution groups");
     }
   }
+  // Final SLO accounting, captured while the tenant's instruments are still
+  // live — the registry namespace is erased below, but billing/export needs
+  // the numbers after the tenant is gone.
+  metrics::Registry& reg = metrics::Registry::instance();
+  const std::string ns = metrics::Registry::tenant_prefix(tenant_id);
+  TenantSloSnapshot snap;
+  snap.tenant_id = tenant_id;
+  if (tenant->slo_latency != nullptr) {
+    const metrics::Histogram& lat = *tenant->slo_latency;
+    snap.requests = lat.count();
+    snap.latency_mean = lat.mean();
+    snap.latency_p50 = lat.percentile(50);
+    snap.latency_p90 = lat.percentile(90);
+    snap.latency_p99 = lat.percentile(99);
+    snap.latency_max = lat.max();
+  }
+  if (tenant->slo_watchdog_stalls != nullptr) {
+    snap.watchdog_stalls = tenant->slo_watchdog_stalls->value();
+  }
+  if (tenant->slo_doorbells_suppressed != nullptr) {
+    snap.doorbells_suppressed = tenant->slo_doorbells_suppressed->value();
+  }
+  if (const metrics::Counter* c = reg.find_counter(ns + "faults/injected")) {
+    snap.faults_injected = c->value();
+  }
+  if (const metrics::Counter* c = reg.find_counter(ns + "faults/recovered")) {
+    snap.faults_recovered = c->value();
+  }
+  snap.metrics_json = reg.to_json(tenant_id);
+  snap.metrics_text = reg.to_prometheus(tenant_id);
+  tenant_slo_history_.push_back(std::move(snap));
+
   for (const int gid : tenant->group_ids) {
     const auto git = groups_by_id_.find(gid);
     if (git != groups_by_id_.end()) destroy_group(git->second);
@@ -1043,7 +1109,12 @@ Status MultiverseRuntime::tenant_destroy(int tenant_id) {
   tenants_by_root_.erase(tenant->hrt_root);
   tenants_by_proc_.erase(tenant->proc);
   tenants_.erase(tit);
-  metrics::Registry::instance().counter("mv/tenant/destroyed").inc();
+  // Residue-free teardown extends to telemetry: every instrument in the
+  // tenant's namespace leaves the registry (the channels and fault plan —
+  // the only holders of cached pointers into it — are already gone), so a
+  // recreated tenant builds its namespace from scratch, deterministically.
+  reg.erase_with_prefix(ns);
+  reg.counter("mv/tenant/destroyed").inc();
   return Status::ok();
 }
 

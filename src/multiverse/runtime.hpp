@@ -47,6 +47,36 @@ struct Tenant {
   std::unique_ptr<OverrideTable> override_table;
   std::unique_ptr<HybridizationGovernor> governor;
   std::vector<int> group_ids;  // groups this tenant created
+  // Cached SLO instruments in the tenant's metric namespace
+  // (tenant/<id>/...), resolved once at tenant_create so the channel hot
+  // path bumps pointers, never resolves names.
+  metrics::Histogram* slo_latency = nullptr;          // slo/request_latency
+  metrics::Counter* slo_watchdog_stalls = nullptr;    // watchdog/stalls
+  metrics::Counter* slo_doorbells_suppressed = nullptr;  // doorbells_suppressed
+  // Tenant-local channel numbering for instrument names: ordinals restart at
+  // 0 for every tenant incarnation, so a destroyed-then-recreated tenant
+  // exports byte-identical metrics even though group ids keep climbing.
+  int next_channel_ordinal = 0;
+};
+
+// Final per-tenant SLO accounting, captured by tenant_destroy in the instant
+// before the tenant's instruments are erased from the registry. Survives the
+// tenant (and the registry rollback ordering within a run), so the density
+// bench and export paths can report on tenants that already left.
+struct TenantSloSnapshot {
+  int tenant_id = 0;
+  std::uint64_t requests = 0;           // slo/request_latency count
+  double latency_mean = 0.0;
+  double latency_p50 = 0.0;
+  double latency_p90 = 0.0;
+  double latency_p99 = 0.0;
+  double latency_max = 0.0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_recovered = 0;
+  std::uint64_t watchdog_stalls = 0;
+  std::uint64_t doorbells_suppressed = 0;
+  std::string metrics_json;  // Registry::to_json(tenant_id) at destroy
+  std::string metrics_text;  // Registry::to_prometheus(tenant_id) at destroy
 };
 
 // One execution group: a top-level HRT thread paired with its ROS partner.
@@ -196,6 +226,12 @@ class MultiverseRuntime {
   [[nodiscard]] const std::vector<Cycles>& tenant_boot_history()
       const noexcept {
     return tenant_boot_history_;
+  }
+  // Per-tenant SLO snapshots in destruction order (same lifetime contract as
+  // the boot history above).
+  [[nodiscard]] const std::vector<TenantSloSnapshot>& tenant_slo_history()
+      const noexcept {
+    return tenant_slo_history_;
   }
   // Force the shared-daemon service pool into existence from `caller`'s
   // process (no-op in dedicated-partner mode or when it already runs).
@@ -360,8 +396,8 @@ class MultiverseRuntime {
   std::map<int, std::unique_ptr<Tenant>> tenants_;
   std::map<ros::Process*, Tenant*> tenants_by_proc_;
   std::map<std::uint64_t, Tenant*> tenants_by_root_;
-  int next_tenant_id_ = 1;
   std::vector<Cycles> tenant_boot_history_;
+  std::vector<TenantSloSnapshot> tenant_slo_history_;
   bool fault_resolvers_installed_ = false;
 };
 

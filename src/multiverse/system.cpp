@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 
 namespace mv::multiverse {
 
@@ -231,8 +232,35 @@ Result<HybridSystem::TenantRunResult> HybridSystem::run_tenants(
   MV_RETURN_IF_ERROR(linux_.run_all());
   TenantRunResult out;
   out.boot_cycles = rt->tenant_boot_history();
+  out.slo = rt->tenant_slo_history();
   for (ros::Process* proc : procs) {
     out.programs.push_back(collect(*proc, start_us, /*hybrid=*/true));
+  }
+  return out;
+}
+
+HybridSystem::TenantMetricsExport HybridSystem::export_tenant_metrics(
+    int tenant_id) {
+  TenantMetricsExport out;
+  // Tenant 0 is the host and always live; created tenants export live as
+  // long as their instruments are still in the registry.
+  if (tenant_id == 0 || runtime_.find_tenant(tenant_id) != nullptr) {
+    auto& reg = metrics::Registry::instance();
+    out.found = true;
+    out.json = reg.to_json(tenant_id);
+    out.text = reg.to_prometheus(tenant_id);
+    return out;
+  }
+  // Destroyed tenant: replay the snapshot captured at tenant_destroy (last
+  // incarnation wins when the id was recycled).
+  const auto& history = runtime_.tenant_slo_history();
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    if (it->tenant_id == tenant_id) {
+      out.found = true;
+      out.json = it->metrics_json;
+      out.text = it->metrics_text;
+      return out;
+    }
   }
   return out;
 }

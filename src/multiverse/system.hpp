@@ -102,6 +102,10 @@ class HybridSystem {
     std::vector<ProgramResult> programs;  // one per program, in input order
     // Cached-image boot cost per tenant_create, in creation order.
     std::vector<Cycles> boot_cycles;
+    // Per-tenant SLO snapshots captured at each tenant_destroy, in
+    // destruction order: registry-sourced request-latency percentiles,
+    // fault/stall/suppression counts, and the tenant's full metric export.
+    std::vector<TenantSloSnapshot> slo;
   };
 
   // Host every program as its own tenant in ONE system: program 0 boots the
@@ -112,6 +116,19 @@ class HybridSystem {
   // extra_override_config). A single program delegates to run_hybrid and is
   // bitwise identical to it.
   Result<TenantRunResult> run_tenants(std::vector<TenantProgram> programs);
+
+  // Machine-readable per-tenant metric export: JSON and Prometheus-style
+  // text, every instrument labeled with its owning tenant. For a live
+  // tenant (or tenant 0, which is always live) the export reads the
+  // registry directly; for an already-destroyed tenant it replays the
+  // snapshot tenant_destroy captured. `found` is false when the id was
+  // never a tenant this run.
+  struct TenantMetricsExport {
+    bool found = false;
+    std::string json;
+    std::string text;
+  };
+  [[nodiscard]] TenantMetricsExport export_tenant_metrics(int tenant_id);
 
   // Accelerator-model entry: main runs in the ROS and gets the runtime to
   // raise explicit HRT work (hrt_invoke_func / overridden pthreads).

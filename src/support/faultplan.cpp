@@ -125,21 +125,36 @@ bool FaultPlan::should_inject(FaultClass c, Cycles now) {
   return rng_[idx].uniform() < p;
 }
 
+void FaultPlan::bind_tenant(int tenant_id) {
+  tenant_id_ = tenant_id;
+  if (tenant_id_ == 0) {
+    tenant_injected_metric_ = nullptr;
+    tenant_recovered_metric_ = nullptr;
+    return;
+  }
+  metrics::Registry& reg = metrics::Registry::instance();
+  const std::string prefix = metrics::Registry::tenant_prefix(tenant_id_);
+  tenant_injected_metric_ = &reg.counter(prefix + "faults/injected");
+  tenant_recovered_metric_ = &reg.counter(prefix + "faults/recovered");
+}
+
 void FaultPlan::note_injected(FaultClass c) {
   ++injected_[static_cast<std::size_t>(c)];
   MV_COUNTER_INC(injected_metric_, 1);
   MV_COUNTER_INC(class_metric_[static_cast<std::size_t>(c)], 1);
-  MV_FR_EVENT(FlightRecorder::instance().current_core(),
-              FrKind::kFaultInject, 0, static_cast<std::uint64_t>(c), 0,
-              fault_class_name(c));
+  MV_COUNTER_INC(tenant_injected_metric_, 1);
+  MV_FR_EVENT_T(FlightRecorder::instance().current_core(),
+                FrKind::kFaultInject, 0, static_cast<std::uint64_t>(c), 0,
+                fault_class_name(c), tenant_id_);
 }
 
 void FaultPlan::note_recovered(FaultClass c) {
   ++recovered_[static_cast<std::size_t>(c)];
   MV_COUNTER_INC(recovered_metric_, 1);
-  MV_FR_EVENT(FlightRecorder::instance().current_core(),
-              FrKind::kFaultRecover, 0, static_cast<std::uint64_t>(c), 0,
-              fault_class_name(c));
+  MV_COUNTER_INC(tenant_recovered_metric_, 1);
+  MV_FR_EVENT_T(FlightRecorder::instance().current_core(),
+                FrKind::kFaultRecover, 0, static_cast<std::uint64_t>(c), 0,
+                fault_class_name(c), tenant_id_);
 }
 
 std::uint64_t FaultPlan::injected_total() const noexcept {

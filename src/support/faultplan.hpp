@@ -74,6 +74,13 @@ class FaultPlan {
   void note_injected(FaultClass c);
   void note_recovered(FaultClass c);
 
+  // Attribute this plan's faults to a created tenant: every note_* also bumps
+  // tenant/<id>/faults/injected|recovered and tags the flight-recorder event
+  // with the owner. The process-wide faults/* counters keep counting — fleet
+  // totals stay one query — so binding adds attribution, never moves it.
+  void bind_tenant(int tenant_id);
+  [[nodiscard]] int tenant_id() const noexcept { return tenant_id_; }
+
   [[nodiscard]] std::uint64_t injected(FaultClass c) const noexcept {
     return injected_[static_cast<std::size_t>(c)];
   }
@@ -91,6 +98,9 @@ class FaultPlan {
   metrics::Counter* injected_metric_ = nullptr;
   metrics::Counter* recovered_metric_ = nullptr;
   std::array<metrics::Counter*, kClassCount> class_metric_{};
+  int tenant_id_ = 0;
+  metrics::Counter* tenant_injected_metric_ = nullptr;
+  metrics::Counter* tenant_recovered_metric_ = nullptr;
 };
 
 }  // namespace mv

@@ -39,8 +39,8 @@ FlightRecorder& FlightRecorder::instance() noexcept {
 }
 
 void FlightRecorder::record(unsigned core, FrKind kind, std::uint64_t span,
-                            std::uint64_t a, std::uint64_t b,
-                            const char* tag) {
+                            std::uint64_t a, std::uint64_t b, const char* tag,
+                            int tenant) {
   if (!enabled_) return;
   if (rings_.size() <= core) rings_.resize(core + 1);
   CoreRing& ring = rings_[core];
@@ -51,6 +51,7 @@ void FlightRecorder::record(unsigned core, FrKind kind, std::uint64_t span,
   rec.a = a;
   rec.b = b;
   rec.kind = kind;
+  rec.tenant = tenant;
   rec.tag = tag;
   ++ring.count;
 }
@@ -89,12 +90,16 @@ std::string FlightRecorder::render_events() const {
     const std::uint64_t n = ring.count < kRingCap ? ring.count : kRingCap;
     for (std::uint64_t i = 0; i < n; ++i) {
       const Rec& rec = ring.ring[(ring.count - n + i) % kRingCap];
-      out += strfmt("  [%llu] %s span=%llu a=%llu b=%llu%s%s\n",
+      // Owner printed only for created tenants: tenant-0 dumps stay
+      // byte-identical to the pre-tenant format.
+      const std::string owner =
+          rec.tenant != 0 ? strfmt(" tenant=%d", rec.tenant) : std::string{};
+      out += strfmt("  [%llu] %s span=%llu a=%llu b=%llu%s%s%s\n",
                     static_cast<unsigned long long>(rec.cycles),
                     fr_kind_name(rec.kind),
                     static_cast<unsigned long long>(rec.span),
                     static_cast<unsigned long long>(rec.a),
-                    static_cast<unsigned long long>(rec.b),
+                    static_cast<unsigned long long>(rec.b), owner.c_str(),
                     rec.tag[0] != '\0' ? " " : "", rec.tag);
     }
   }

@@ -79,8 +79,19 @@ class FlightRecorder {
 
   // Record one event on `core`'s ring. Timestamped with the Tracer's bound
   // simulated clock (0 when none is bound); charges no simulated cycles.
+  // `tenant` is the owning tenant id (0 = the implicit host tenant); dumps
+  // print it only when non-zero, so single-tenant output is unchanged.
   void record(unsigned core, FrKind kind, std::uint64_t span = 0,
-              std::uint64_t a = 0, std::uint64_t b = 0, const char* tag = "");
+              std::uint64_t a = 0, std::uint64_t b = 0, const char* tag = "",
+              int tenant = 0);
+
+  // --- current-tenant context ----------------------------------------------
+  // The runtime stamps which tenant's request is executing (channel
+  // submit/serve, override dispatch) so the MV_CHECK abort header can name
+  // the owner next to core+cycle. Purely observational — never read by
+  // simulation logic.
+  void set_current_tenant(int tenant) noexcept { current_tenant_ = tenant; }
+  [[nodiscard]] int current_tenant() const noexcept { return current_tenant_; }
 
   // --- current-core source (owner-token, like Tracer::bind_clock) ----------
   // The scheduler binds "which simulated core is executing right now" so the
@@ -134,6 +145,7 @@ class FlightRecorder {
     std::uint64_t a = 0;
     std::uint64_t b = 0;
     FrKind kind = FrKind::kSubmit;
+    int tenant = 0;
     const char* tag = "";
   };
   struct CoreRing {
@@ -147,6 +159,7 @@ class FlightRecorder {
   };
 
   bool enabled_ = true;
+  int current_tenant_ = 0;
   const void* core_owner_ = nullptr;
   CoreFn core_fn_;
   std::vector<CoreRing> rings_;  // index = core id
@@ -164,8 +177,19 @@ class FlightRecorder {
     ::mv::FlightRecorder& mv_fr__ = ::mv::FlightRecorder::instance();   \
     if (mv_fr__.enabled()) mv_fr__.record(core, kind, span, a, b, tag); \
   } while (0)
+// Tenant-tagged variant for events with a known owner (fault injections,
+// watchdog stalls, channel lifecycle in a tenant's group).
+#define MV_FR_EVENT_T(core, kind, span, a, b, tag, tenant)            \
+  do {                                                                \
+    ::mv::FlightRecorder& mv_fr__ = ::mv::FlightRecorder::instance(); \
+    if (mv_fr__.enabled())                                            \
+      mv_fr__.record(core, kind, span, a, b, tag, tenant);            \
+  } while (0)
 #else
 #define MV_FR_EVENT(core, kind, span, a, b, tag) \
   do {                                           \
+  } while (0)
+#define MV_FR_EVENT_T(core, kind, span, a, b, tag, tenant) \
+  do {                                                     \
   } while (0)
 #endif

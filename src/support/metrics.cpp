@@ -64,57 +64,134 @@ Registry& Registry::instance() noexcept {
   return registry;
 }
 
+std::string Registry::tenant_prefix(int tenant) {
+  if (tenant <= 0) return {};
+  return strfmt("tenant/%d/", tenant);
+}
+
+std::pair<int, std::string> Registry::split_tenant(const std::string& name) {
+  constexpr const char kTag[] = "tenant/";
+  constexpr std::size_t kTagLen = sizeof(kTag) - 1;
+  if (name.rfind(kTag, 0) == 0) {
+    std::size_t i = kTagLen;
+    int id = 0;
+    bool any = false;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+      id = id * 10 + (name[i] - '0');
+      any = true;
+      ++i;
+    }
+    if (any && i < name.size() && name[i] == '/' && id > 0) {
+      return {id, name.substr(i + 1)};
+    }
+  }
+  return {0, name};
+}
+
 Counter& Registry::counter(const std::string& name) {
-  if (Counter* existing = find_counter(name)) return *existing;
+  auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return *counters_[it->second].second;
   counters_.emplace_back(name, std::make_unique<Counter>());
+  counter_index_.emplace(name, counters_.size() - 1);
   return *counters_.back().second;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  if (Histogram* existing = find_histogram(name)) return *existing;
+  auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return *histograms_[it->second].second;
   histograms_.emplace_back(name, std::make_unique<Histogram>());
+  histogram_index_.emplace(name, histograms_.size() - 1);
   return *histograms_.back().second;
 }
 
 Counter* Registry::find_counter(const std::string& name) {
-  for (auto& [n, c] : counters_) {
-    if (n == name) return c.get();
-  }
-  return nullptr;
+  auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? nullptr : counters_[it->second].second.get();
 }
 
 Histogram* Registry::find_histogram(const std::string& name) {
-  for (auto& [n, h] : histograms_) {
-    if (n == name) return h.get();
-  }
-  return nullptr;
+  auto it = histogram_index_.find(name);
+  return it == histogram_index_.end() ? nullptr
+                                      : histograms_[it->second].second.get();
 }
+
+namespace {
+
+// lower_bound walk over a sorted name->index map: visit exactly the keys
+// that start with `prefix` (an empty prefix visits everything, still in
+// name order).
+template <typename Map, typename Fn>
+void for_each_with_prefix(const Map& index, const std::string& prefix, Fn fn) {
+  for (auto it = index.lower_bound(prefix); it != index.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    fn(it->first, it->second);
+  }
+}
+
+}  // namespace
 
 std::vector<std::pair<std::string, const Counter*>>
 Registry::counters_with_prefix(const std::string& prefix) const {
   std::vector<std::pair<std::string, const Counter*>> out;
-  for (const auto& [n, c] : counters_) {
-    if (n.rfind(prefix, 0) == 0) out.emplace_back(n, c.get());
-  }
+  for_each_with_prefix(counter_index_, prefix,
+                       [&](const std::string& n, std::size_t i) {
+                         out.emplace_back(n, counters_[i].second.get());
+                       });
   return out;
 }
 
 std::vector<std::pair<std::string, const Histogram*>>
 Registry::histograms_with_prefix(const std::string& prefix) const {
   std::vector<std::pair<std::string, const Histogram*>> out;
-  for (const auto& [n, h] : histograms_) {
-    if (n.rfind(prefix, 0) == 0) out.emplace_back(n, h.get());
+  for_each_with_prefix(histogram_index_, prefix,
+                       [&](const std::string& n, std::size_t i) {
+                         out.emplace_back(n, histograms_[i].second.get());
+                       });
+  return out;
+}
+
+std::vector<std::pair<std::string, const Counter*>>
+Registry::counters_for_tenant(int tenant) const {
+  std::vector<std::pair<std::string, const Counter*>> out;
+  if (tenant > 0) {
+    for (auto& [n, c] : counters_with_prefix(tenant_prefix(tenant))) {
+      out.emplace_back(split_tenant(n).second, c);
+    }
+    return out;
+  }
+  // Tenant 0 owns every bare-named instrument — skip the tenant/ subtree.
+  for (const auto& [n, i] : counter_index_) {
+    if (split_tenant(n).first != 0) continue;
+    out.emplace_back(n, counters_[i].second.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+Registry::histograms_for_tenant(int tenant) const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  if (tenant > 0) {
+    for (auto& [n, h] : histograms_with_prefix(tenant_prefix(tenant))) {
+      out.emplace_back(split_tenant(n).second, h);
+    }
+    return out;
+  }
+  for (const auto& [n, i] : histogram_index_) {
+    if (split_tenant(n).first != 0) continue;
+    out.emplace_back(n, histograms_[i].second.get());
   }
   return out;
 }
 
 std::string Registry::to_text() const {
   std::string out;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, i] : counter_index_) {
     out += strfmt("counter %s %llu\n", name.c_str(),
-                  static_cast<unsigned long long>(c->value()));
+                  static_cast<unsigned long long>(
+                      counters_[i].second->value()));
   }
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, i] : histogram_index_) {
+    const Histogram* h = histograms_[i].second.get();
     out += strfmt(
         "histogram %s count=%llu mean=%.1f p50=%.1f p90=%.1f p99=%.1f "
         "max=%.1f\n",
@@ -124,19 +201,107 @@ std::string Registry::to_text() const {
   return out;
 }
 
+std::string Registry::to_json(int tenant) const {
+  std::string out = "{\"instruments\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& body) {
+    if (!first) out += ',';
+    first = false;
+    out += body;
+  };
+  for (const auto& [name, i] : counter_index_) {
+    const auto [owner, base] = split_tenant(name);
+    if (tenant >= 0 && owner != tenant) continue;
+    emit(strfmt("{\"kind\":\"counter\",\"tenant\":%d,\"name\":\"%s\","
+                "\"value\":%llu}",
+                owner, base.c_str(),
+                static_cast<unsigned long long>(
+                    counters_[i].second->value())));
+  }
+  for (const auto& [name, i] : histogram_index_) {
+    const auto [owner, base] = split_tenant(name);
+    if (tenant >= 0 && owner != tenant) continue;
+    const Histogram* h = histograms_[i].second.get();
+    emit(strfmt("{\"kind\":\"histogram\",\"tenant\":%d,\"name\":\"%s\","
+                "\"count\":%llu,\"mean\":%.1f,\"p50\":%.1f,\"p90\":%.1f,"
+                "\"p99\":%.1f,\"max\":%.1f}",
+                owner, base.c_str(),
+                static_cast<unsigned long long>(h->count()), h->mean(),
+                h->percentile(50), h->percentile(90), h->percentile(99),
+                h->max()));
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Registry::to_prometheus(int tenant) const {
+  std::string out;
+  for (const auto& [name, i] : counter_index_) {
+    const auto [owner, base] = split_tenant(name);
+    if (tenant >= 0 && owner != tenant) continue;
+    out += strfmt("mv_counter{name=\"%s\",tenant=\"%d\"} %llu\n", base.c_str(),
+                  owner,
+                  static_cast<unsigned long long>(
+                      counters_[i].second->value()));
+  }
+  for (const auto& [name, i] : histogram_index_) {
+    const auto [owner, base] = split_tenant(name);
+    if (tenant >= 0 && owner != tenant) continue;
+    const Histogram* h = histograms_[i].second.get();
+    const auto count = static_cast<unsigned long long>(h->count());
+    out += strfmt("mv_histogram_count{name=\"%s\",tenant=\"%d\"} %llu\n",
+                  base.c_str(), owner, count);
+    out += strfmt("mv_histogram_mean{name=\"%s\",tenant=\"%d\"} %.1f\n",
+                  base.c_str(), owner, h->mean());
+    out += strfmt("mv_histogram_p50{name=\"%s\",tenant=\"%d\"} %.1f\n",
+                  base.c_str(), owner, h->percentile(50));
+    out += strfmt("mv_histogram_p90{name=\"%s\",tenant=\"%d\"} %.1f\n",
+                  base.c_str(), owner, h->percentile(90));
+    out += strfmt("mv_histogram_p99{name=\"%s\",tenant=\"%d\"} %.1f\n",
+                  base.c_str(), owner, h->percentile(99));
+    out += strfmt("mv_histogram_max{name=\"%s\",tenant=\"%d\"} %.1f\n",
+                  base.c_str(), owner, h->max());
+  }
+  return out;
+}
+
 void Registry::reset() {
   for (auto& [n, c] : counters_) c->reset();
   for (auto& [n, h] : histograms_) h->reset();
 }
 
+void Registry::reindex() {
+  counter_index_.clear();
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counter_index_.emplace(counters_[i].first, i);
+  }
+  histogram_index_.clear();
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    histogram_index_.emplace(histograms_[i].first, i);
+  }
+}
+
+void Registry::erase_with_prefix(const std::string& prefix) {
+  const auto matches = [&](const auto& entry) {
+    return entry.first.compare(0, prefix.size(), prefix) == 0;
+  };
+  const auto nc = std::erase_if(counters_, matches);
+  const auto nh = std::erase_if(histograms_, matches);
+  if (nc != 0 || nh != 0) reindex();
+}
+
 void Registry::truncate_instruments(std::size_t counters,
                                     std::size_t histograms) {
+  bool changed = false;
   if (counters < counters_.size()) {
     counters_.resize(counters);
+    changed = true;
   }
   if (histograms < histograms_.size()) {
     histograms_.resize(histograms);
+    changed = true;
   }
+  if (changed) reindex();
 }
 
 }  // namespace mv::metrics

@@ -12,6 +12,14 @@
 // by name once (constructor / first use) and then touch only a cached
 // pointer on the hot path — an increment or a bounded histogram insert.
 //
+// Tenant dimension: instruments are namespaced by owner. The implicit
+// tenant 0 uses bare names ("channel/1/queue_wait"), so single-tenant runs
+// are bitwise identical to the pre-tenant registry; created tenants prefix
+// theirs with "tenant/<id>/" (tenant_prefix()). Handles are resolved once at
+// tenant_create and cached, so the per-increment hot path never sees the
+// namespace. to_json()/to_prometheus() parse the prefix back out so every
+// exported instrument carries a tenant label.
+//
 // Histograms keep a bounded, deterministic sample reservoir: once the cap is
 // reached the stored samples are decimated 2:1 and the acceptance stride
 // doubles, so percentiles stay exact for short runs and deterministic (not
@@ -19,8 +27,10 @@
 // the full population.
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 // Compile-time kill switch mirroring MV_TRACE_ENABLED: with
@@ -82,6 +92,15 @@ class Registry {
  public:
   static Registry& instance() noexcept;
 
+  // Instrument-name prefix for a tenant's namespace: "" for the implicit
+  // tenant 0 (bare names keep single-tenant runs bitwise identical),
+  // "tenant/<id>/" otherwise.
+  [[nodiscard]] static std::string tenant_prefix(int tenant);
+  // Inverse: split a full instrument name into (owning tenant, base name).
+  // Names not under a "tenant/<id>/" prefix belong to tenant 0.
+  [[nodiscard]] static std::pair<int, std::string> split_tenant(
+      const std::string& name);
+
   // Resolve-by-name; creates on first use. Returned references stay valid
   // for the lifetime of the TelemetryScope (if any) that was active when the
   // instrument was created — for the whole process when none was (reset()
@@ -93,19 +112,45 @@ class Registry {
   [[nodiscard]] Counter* find_counter(const std::string& name);
   [[nodiscard]] Histogram* find_histogram(const std::string& name);
 
-  // All instruments whose name starts with `prefix`, in creation order
-  // (creation order is deterministic, so dumps are bit-stable).
+  // All instruments whose name starts with `prefix`, in name order (the
+  // registry keeps a sorted index, so prefix queries are a lower_bound walk,
+  // not a scan, and dumps are independent of creation order).
   [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
   counters_with_prefix(const std::string& prefix) const;
   [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>>
   histograms_with_prefix(const std::string& prefix) const;
 
+  // Per-tenant rollup: every instrument owned by `tenant`, keyed by its base
+  // name (namespace prefix stripped), in name order. Tenant 0 owns every
+  // instrument not under a "tenant/<id>/" prefix.
+  [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
+  counters_for_tenant(int tenant) const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>>
+  histograms_for_tenant(int tenant) const;
+
   // Plain-text dump consumed by the bench harness: one line per counter,
-  // one line per histogram with count/mean/p50/p90/p99/max.
+  // one line per histogram with count/mean/p50/p90/p99/max. Name-ordered, so
+  // two runs that create the same instruments in different orders diff clean.
   [[nodiscard]] std::string to_text() const;
+
+  // Machine-readable exports. Every instrument carries a "tenant" label
+  // (parsed from its namespace prefix) and its base name; `tenant` < 0
+  // exports all tenants, otherwise only that tenant's instruments. Both are
+  // deterministic: name-ordered, fixed float formatting.
+  [[nodiscard]] std::string to_json(int tenant = -1) const;
+  // Prometheus-style text exposition: mv_counter{...} / mv_histogram_*{...}.
+  [[nodiscard]] std::string to_prometheus(int tenant = -1) const;
 
   // Zero every instrument (pointers cached by instrumented code stay valid).
   void reset();
+
+  // Erase every instrument whose name starts with `prefix` — the
+  // tenant_destroy path ("tenant/<id>/"). Count-based truncation cannot do
+  // this: tenants interleave creation, so a departing tenant's instruments
+  // are not a suffix of the vectors. Cached pointers into the erased set
+  // dangle; the owner must drop them first (channel/plan teardown precedes
+  // this in tenant_destroy).
+  void erase_with_prefix(const std::string& prefix);
 
   // --- scoped rollback (support/telemetry.hpp) ------------------------------
   // A TelemetryScope snapshots the instrument counts when a system comes up
@@ -124,8 +169,14 @@ class Registry {
  private:
   Registry() = default;
 
+  void reindex();
+
+  // Creation-order storage (what TelemetryScope's count snapshot truncates)
+  // plus sorted name->index maps for O(log n) resolve and ordered export.
   std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  std::map<std::string, std::size_t> counter_index_;
+  std::map<std::string, std::size_t> histogram_index_;
 };
 
 }  // namespace mv::metrics

@@ -11,14 +11,17 @@ namespace mv {
 void check_failed(const char* expr, const char* file, int line,
                   const std::string& detail) {
   // Stamp the abort with where the simulation actually was: the core the
-  // scheduler says is executing and that core's simulated cycle count.
+  // scheduler says is executing, that core's simulated cycle count, and the
+  // tenant whose request was in flight (0 = the implicit host tenant).
   FlightRecorder& recorder = FlightRecorder::instance();
   const unsigned core = recorder.current_core();
   const std::uint64_t cycle = Tracer::instance().now(core);
-  std::fprintf(stderr,
-               "MV_CHECK failed at %s:%d [core %u @ cycle %llu]: %s%s%s\n",
-               file, line, core, static_cast<unsigned long long>(cycle), expr,
-               detail.empty() ? "" : " — ", detail.c_str());
+  std::fprintf(
+      stderr,
+      "MV_CHECK failed at %s:%d [core %u @ cycle %llu tenant %d]: %s%s%s\n",
+      file, line, core, static_cast<unsigned long long>(cycle),
+      recorder.current_tenant(), expr, detail.empty() ? "" : " — ",
+      detail.c_str());
   // Post-mortem context: recent structured events plus live component state.
   // dump_to_stderr() is reentrancy-guarded, so a state provider that itself
   // fails an MV_CHECK mid-dump falls straight through to abort().

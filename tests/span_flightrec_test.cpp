@@ -23,6 +23,7 @@
 #include "support/flightrec.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 #include "support/trace.hpp"
 
 namespace mv::multiverse {
@@ -238,6 +239,64 @@ TEST(WatchdogTest, StalledRequestTriggersExactlyOneSnapshot) {
   EXPECT_NE(snap.find("STALLED"), std::string::npos) << snap;
   EXPECT_EQ(
       metrics::Registry::instance().counter("mv/watchdog/stalls").value(), 1u);
+}
+
+TEST(WatchdogTest, StallSnapshotCarriesTenantTag) {
+  metrics::Registry::instance().reset();
+  FlightRecorder& recorder = FlightRecorder::instance();
+  recorder.reset();
+
+  // Scope the tenant instruments so they do not leak into later tests.
+  TelemetryScope scope;
+  hw::Machine machine;
+  Sched sched;
+  vmm::Hvm hvm{machine, {}};
+  ros::LinuxSim kernel{machine, sched, {}};
+  metrics::Registry& reg = metrics::Registry::instance();
+  EventChannel::TenantBinding binding;
+  binding.tenant_id = 7;
+  binding.local_ordinal = 0;
+  binding.slo_watchdog_stalls = &reg.counter("tenant/7/watchdog/stalls");
+  EventChannel chan{hvm, kernel, sched, /*hrt_core=*/1, /*id=*/91, binding};
+
+  FaultPlan::Spec spec;
+  spec.seed = 7;
+  spec.probability[static_cast<std::size_t>(FaultClass::kDropDoorbell)] = 1.0;
+  FaultPlan plan(spec);
+  chan.set_fault_plan(&plan);
+  ASSERT_TRUE(chan.init().is_ok());
+  chan.set_watchdog_multiple(2);
+  auto proc = kernel.spawn("partner", [&](SysIface&) {
+    chan.bind_partner(kernel.current_thread());
+    chan.service_loop();
+    return 0;
+  });
+  ASSERT_TRUE(proc.is_ok());
+
+  sched.spawn(
+      1,
+      [&] {
+        auto r = chan.forward_syscall(SysNr::kGetpid, {});
+        ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+        chan.mark_exit();
+      },
+      "req");
+  ASSERT_TRUE(sched.run().is_ok());
+
+  EXPECT_EQ(chan.watchdog_stalls(), 1u);
+  // The stall ticks both the global roll-up and the owning tenant's SLO
+  // counter.
+  EXPECT_EQ(reg.counter("mv/watchdog/stalls").value(), 1u);
+  EXPECT_EQ(reg.counter("tenant/7/watchdog/stalls").value(), 1u);
+  // Channel instruments live in the tenant namespace under the tenant-local
+  // ordinal, not the global channel id.
+  EXPECT_NE(reg.find_counter("tenant/7/channel/0/doorbells"), nullptr);
+  EXPECT_EQ(reg.find_counter("channel/91/doorbells"), nullptr);
+  // The snapshot reason and the flight-recorder events carry the tenant id.
+  ASSERT_EQ(recorder.snapshot_count(), 1u);
+  const std::string& snap = recorder.snapshots().back();
+  EXPECT_NE(snap.find("watchdog: chan91"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("tenant=7"), std::string::npos) << snap;
 }
 
 TEST(WatchdogTest, HealthyChannelNeverTrips) {

@@ -362,11 +362,106 @@ TEST(TenantTest, DestroyFaultedTenantWhileOtherServes) {
   EXPECT_EQ(rt.tenant_count(), 1u);
 }
 
+// --- per-tenant telemetry: namespaces, exports, destroy snapshots ------------
+
+TEST(TenantTelemetryTest, DestroyThenRecreateExportsIdentically) {
+  // Two full create/serve/destroy cycles from the same process. The second
+  // incarnation must reuse the smallest free tenant id and its tenant-local
+  // channel ordinals, so its metric export — names and values — is byte-
+  // identical to the first one's, and no "tenant/" instrument survives
+  // either destroy.
+  SystemConfig cfg;
+  cfg.ros_cores = {0};
+  cfg.hrt_cores = {1, 2};
+  cfg.group_mode = GroupMode::kSharedDaemon;
+  cfg.extra_override_config = "option tenants 2\noption service_workers 2\n";
+  HybridSystem sys(cfg);
+  ros::LinuxSim& kernel = sys.linux();
+  MultiverseRuntime& rt = sys.runtime();
+  const std::vector<std::uint8_t>* fat = &sys.fat_binary();
+
+  bool done = false;
+  std::vector<int> tenant_ids;
+  std::vector<std::size_t> tenant_instruments_after_destroy;
+
+  ASSERT_TRUE(kernel
+                  .spawn("t0",
+                         [&](SysIface&) -> int {
+                           ros::Thread* self = kernel.current_thread();
+                           if (!rt.startup(*self, *fat).is_ok()) return 127;
+                           if (!rt.warm_service_pool(*self).is_ok()) return 126;
+                           while (!done) kernel.sched().yield();
+                           (void)rt.shutdown();
+                           return 0;
+                         })
+                  .is_ok());
+  ASSERT_TRUE(
+      kernel
+          .spawn("tenant",
+                 [&](SysIface&) -> int {
+                   ros::Thread* self = kernel.current_thread();
+                   while (!rt.started()) kernel.sched().yield();
+                   for (int cycle = 0; cycle < 2; ++cycle) {
+                     auto id = rt.tenant_create(*self);
+                     if (!id.is_ok()) return 10 + cycle;
+                     tenant_ids.push_back(*id);
+                     if (!rt.hrt_invoke_func(*self,
+                                             [](SysIface& s) {
+                                               (void)checksum_workload(s);
+                                             })
+                              .is_ok()) {
+                       return 20 + cycle;
+                     }
+                     if (!rt.tenant_destroy(*id).is_ok()) return 30 + cycle;
+                     tenant_instruments_after_destroy.push_back(
+                         metrics::Registry::instance()
+                             .counters_with_prefix("tenant/")
+                             .size() +
+                         metrics::Registry::instance()
+                             .histograms_with_prefix("tenant/")
+                             .size());
+                   }
+                   done = true;
+                   return 0;
+                 })
+          .is_ok());
+  ASSERT_TRUE(kernel.run_all().is_ok());
+
+  // Smallest-free-id allocation: the second incarnation reuses the id.
+  ASSERT_EQ(tenant_ids.size(), 2u);
+  EXPECT_EQ(tenant_ids[0], tenant_ids[1]);
+  // Destroy truncates the tenant's namespace completely, both times.
+  ASSERT_EQ(tenant_instruments_after_destroy.size(), 2u);
+  EXPECT_EQ(tenant_instruments_after_destroy[0], 0u);
+  EXPECT_EQ(tenant_instruments_after_destroy[1], 0u);
+  // The snapshots captured at destroy are byte-identical across
+  // incarnations: same instrument names (tenant-local ordinals, not global
+  // group ids) and same values (same deterministic workload).
+  const auto& history = rt.tenant_slo_history();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].tenant_id, history[1].tenant_id);
+  EXPECT_EQ(history[0].metrics_json, history[1].metrics_json);
+  EXPECT_EQ(history[0].metrics_text, history[1].metrics_text);
+  EXPECT_NE(history[0].metrics_json.find("\"tenant\":"), std::string::npos);
+  // The system-level export serves the destroyed tenant from its snapshot
+  // and reports unknown ids as such.
+  const auto replay = sys.export_tenant_metrics(tenant_ids[0]);
+  EXPECT_TRUE(replay.found);
+  EXPECT_EQ(replay.json, history[1].metrics_json);
+  EXPECT_EQ(replay.text, history[1].metrics_text);
+  EXPECT_FALSE(sys.export_tenant_metrics(999).found);
+  // Tenant 0 is always live and exports with the tenant label.
+  const auto host = sys.export_tenant_metrics(0);
+  EXPECT_TRUE(host.found);
+  EXPECT_NE(host.json.find("\"tenant\":0"), std::string::npos);
+}
+
 // --- mixed criticality: faults scoped to the faulted tenant ------------------
 
 struct MixedRun {
   ProgramResult b_result;
   std::uint64_t faults_injected = 0;
+  std::vector<TenantSloSnapshot> slo;
 };
 
 MixedRun run_mixed(bool a_faulted) {
@@ -392,6 +487,7 @@ MixedRun run_mixed(bool a_faulted) {
   }
   out.faults_injected =
       metrics::Registry::instance().counter("faults/injected").value();
+  if (r.is_ok()) out.slo = r->slo;
   return out;
 }
 
@@ -411,6 +507,46 @@ TEST(TenantMixedCriticalityTest, FaultsScopedToFaultedTenantOnly) {
             clean.b_result.syscall_histogram);
   EXPECT_EQ(faulted.b_result.vdso_calls, clean.b_result.vdso_calls);
   EXPECT_EQ(faulted.b_result.forwarded_faults, clean.b_result.forwarded_faults);
+}
+
+TEST(TenantMixedCriticalityTest, FaultCountersPartitionedByTenant) {
+  // The same two-tenant schedule, read through the per-tenant SLO snapshots:
+  // every injected fault lands in tenant A's namespace, tenant B's stays
+  // clean, and B's registry-sourced latency distribution is identical with
+  // and without A's storm.
+  const MixedRun clean = run_mixed(/*a_faulted=*/false);
+  const MixedRun faulted = run_mixed(/*a_faulted=*/true);
+  ASSERT_EQ(clean.slo.size(), 2u);
+  ASSERT_EQ(faulted.slo.size(), 2u);
+  const TenantSloSnapshot* a = nullptr;
+  const TenantSloSnapshot* b = nullptr;
+  const TenantSloSnapshot* b_clean = nullptr;
+  for (const auto& s : faulted.slo) {
+    // Spawn order is deterministic: tenant-a creates first and gets id 1.
+    if (s.tenant_id == 1) a = &s;
+    if (s.tenant_id == 2) b = &s;
+  }
+  for (const auto& s : clean.slo) {
+    if (s.tenant_id == 2) b_clean = &s;
+  }
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b_clean, nullptr);
+  EXPECT_GT(a->faults_injected, 0u);
+  // Dropped doorbells get recovered (retry); duplicated ones are benign and
+  // need no recovery, so recovered trails injected.
+  EXPECT_GT(a->faults_recovered, 0u);
+  EXPECT_LE(a->faults_recovered, a->faults_injected);
+  EXPECT_EQ(b->faults_injected, 0u);
+  EXPECT_EQ(b->faults_recovered, 0u);
+  // B's request-latency histogram (cycle domain) is untouched by A's storm.
+  EXPECT_EQ(b->requests, b_clean->requests);
+  EXPECT_EQ(b->latency_p50, b_clean->latency_p50);
+  EXPECT_EQ(b->latency_p99, b_clean->latency_p99);
+  EXPECT_EQ(b->latency_max, b_clean->latency_max);
+  // The faulted-tenant totals match the global roll-up (note_* feeds both).
+  EXPECT_EQ(a->faults_injected + b->faults_injected,
+            faulted.faults_injected);
 }
 
 // --- cached-image boot speed -------------------------------------------------

@@ -11,6 +11,7 @@
 #include "hw/machine.hpp"
 #include "multiverse/system.hpp"
 #include "support/metrics.hpp"
+#include "support/telemetry.hpp"
 #include "support/trace.hpp"
 
 namespace mv {
@@ -104,6 +105,110 @@ TEST(MetricsTest, RegistryResolvesAndResets) {
   reg.reset();
   EXPECT_EQ(c.value(), 0u);
   EXPECT_EQ(reg.histogram("test/registry/lat").count(), 0u);
+}
+
+// --- metrics: tenant namespaces and exports ---------------------------------
+
+TEST(MetricsTest, TenantPrefixRoundTrips) {
+  EXPECT_EQ(metrics::Registry::tenant_prefix(0), "");
+  EXPECT_EQ(metrics::Registry::tenant_prefix(-3), "");
+  EXPECT_EQ(metrics::Registry::tenant_prefix(7), "tenant/7/");
+  const auto [tenant, base] =
+      metrics::Registry::split_tenant("tenant/7/channel/0/doorbells");
+  EXPECT_EQ(tenant, 7);
+  EXPECT_EQ(base, "channel/0/doorbells");
+  // Bare names belong to tenant 0 — malformed prefixes stay whole.
+  EXPECT_EQ(metrics::Registry::split_tenant("channel/1/doorbells").first, 0);
+  EXPECT_EQ(metrics::Registry::split_tenant("tenant/x/doorbells").first, 0);
+  EXPECT_EQ(metrics::Registry::split_tenant("tenant/0/doorbells").first, 0);
+  EXPECT_EQ(metrics::Registry::split_tenant("tenant/7").first, 0);
+}
+
+TEST(MetricsTest, TextDumpIndependentOfCreationOrder) {
+  // Two scopes create the same instruments in opposite orders; every export
+  // format must diff clean (the registry is name-indexed, not a scan).
+  std::string first_text, first_json, first_prom;
+  {
+    TelemetryScope scope;
+    metrics::Registry& reg = metrics::Registry::instance();
+    reg.counter("zz/order").inc(2);
+    reg.counter("aa/order").inc(1);
+    reg.histogram("mm/order").record(5.0);
+    first_text = reg.to_text();
+    first_json = reg.to_json();
+    first_prom = reg.to_prometheus();
+  }
+  TelemetryScope scope;
+  metrics::Registry& reg = metrics::Registry::instance();
+  reg.histogram("mm/order").record(5.0);
+  reg.counter("aa/order").inc(1);
+  reg.counter("zz/order").inc(2);
+  EXPECT_EQ(reg.to_text(), first_text);
+  EXPECT_EQ(reg.to_json(), first_json);
+  EXPECT_EQ(reg.to_prometheus(), first_prom);
+  EXPECT_LT(first_text.find("aa/order"), first_text.find("zz/order"));
+}
+
+TEST(MetricsTest, ExportsCarryTenantLabels) {
+  TelemetryScope scope;
+  metrics::Registry& reg = metrics::Registry::instance();
+  reg.counter("mv/globals").inc(1);
+  reg.counter("tenant/3/slo/faults").inc(2);
+  reg.histogram("tenant/3/slo/request_latency").record(10.0);
+  // Single-tenant export filters to that namespace and strips the prefix
+  // back into a label.
+  const std::string json = reg.to_json(3);
+  EXPECT_NE(json.find("\"tenant\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"slo/faults\""), std::string::npos);
+  EXPECT_EQ(json.find("mv/globals"), std::string::npos);
+  const std::string prom = reg.to_prometheus(3);
+  EXPECT_NE(prom.find("tenant=\"3\""), std::string::npos);
+  EXPECT_EQ(prom.find("tenant=\"0\""), std::string::npos);
+  // The all-tenants export labels tenant 0's instruments too.
+  const std::string all = reg.to_json();
+  EXPECT_NE(all.find("\"tenant\":0"), std::string::npos);
+  EXPECT_NE(all.find("\"tenant\":3"), std::string::npos);
+}
+
+TEST(MetricsTest, EraseWithPrefixRemovesOnlyThatNamespace) {
+  TelemetryScope scope;
+  metrics::Registry& reg = metrics::Registry::instance();
+  reg.counter("tenant/5/hits").inc(1);
+  reg.histogram("tenant/5/lat").record(1.0);
+  reg.counter("tenant/51/hits").inc(1);  // shares a string prefix, not a path
+  reg.counter("kept/hits").inc(1);
+  reg.erase_with_prefix("tenant/5/");
+  EXPECT_EQ(reg.find_counter("tenant/5/hits"), nullptr);
+  EXPECT_EQ(reg.find_histogram("tenant/5/lat"), nullptr);
+  EXPECT_NE(reg.find_counter("tenant/51/hits"), nullptr);
+  EXPECT_NE(reg.find_counter("kept/hits"), nullptr);
+  // The survivors are still resolvable by index after the reindex.
+  EXPECT_EQ(reg.find_counter("kept/hits"), &reg.counter("kept/hits"));
+}
+
+TEST(TelemetryScopeTest, NestedScopesRollBackLifo) {
+  metrics::Registry& reg = metrics::Registry::instance();
+  const std::size_t counters_before = reg.counter_count();
+  const std::size_t histograms_before = reg.histogram_count();
+  {
+    TelemetryScope outer;
+    reg.counter("scope/outer").inc(1);
+    const std::size_t counters_outer = reg.counter_count();
+    {
+      TelemetryScope inner;
+      reg.counter("scope/inner").inc(1);
+      reg.histogram("scope/inner_lat").record(1.0);
+      EXPECT_NE(reg.find_counter("scope/inner"), nullptr);
+    }
+    // Inner rollback erases only the inner scope's instruments.
+    EXPECT_EQ(reg.find_counter("scope/inner"), nullptr);
+    EXPECT_EQ(reg.find_histogram("scope/inner_lat"), nullptr);
+    EXPECT_NE(reg.find_counter("scope/outer"), nullptr);
+    EXPECT_EQ(reg.counter_count(), counters_outer);
+  }
+  EXPECT_EQ(reg.counter_count(), counters_before);
+  EXPECT_EQ(reg.histogram_count(), histograms_before);
+  EXPECT_EQ(reg.find_counter("scope/outer"), nullptr);
 }
 
 // --- tracer ------------------------------------------------------------------
